@@ -1,0 +1,84 @@
+"""Extension: division algorithm ablation (sections III-C2 and IV-C1).
+
+Compares the paper's three division strategies on iteration counts and
+host wall time: the single-threaded quotient-range binary search, the CGBN
+Newton-Raphson reciprocal, and Goldschmidt.  The paper's observation --
+binary search degrades linearly in operand bits while the iterative
+methods converge in ~log(bits) steps -- is what makes the multi-threaded
+division path win at high precision (Figure 13, right panel).
+"""
+
+import time
+
+import pytest
+
+from conftest import emit
+from repro.bench.harness import Experiment
+from repro.core.decimal import words as w
+from repro.core.decimal.division import (
+    binary_search_divmod,
+    goldschmidt_divmod,
+    newton_raphson_divmod,
+)
+
+WIDTHS = (2, 4, 8, 16)
+
+ALGORITHMS = {
+    "binary_search": binary_search_divmod,
+    "newton_raphson": newton_raphson_divmod,
+    "goldschmidt": goldschmidt_divmod,
+}
+
+
+def _operands(width):
+    dividend = (1 << (32 * width - 2)) - 987654321
+    divisor = (1 << (16 * width)) + 12345
+    return w.from_int(dividend, width), w.from_int(divisor, width)
+
+
+def run_ablation(widths=WIDTHS) -> Experiment:
+    headers = ["words"] + [
+        f"{name} {metric}" for name in ALGORITHMS for metric in ("iters", "ms")
+    ]
+    rows = []
+    for width in widths:
+        dividend, divisor = _operands(width)
+        row = [width]
+        for name, algorithm in ALGORITHMS.items():
+            start = time.perf_counter()
+            quotient, remainder, stats = algorithm(dividend, divisor)
+            elapsed = time.perf_counter() - start
+            expected = divmod(w.to_int(dividend), w.to_int(divisor))
+            assert (w.to_int(quotient), w.to_int(remainder)) == expected
+            row += [stats.iterations, elapsed * 1e3]
+        rows.append(row)
+    return Experiment(
+        experiment_id="ext_division",
+        title="Division algorithms: iterations and host wall time",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "binary-search iterations grow linearly with operand bits; "
+            "Newton-Raphson/Goldschmidt stay logarithmic -- the Figure 13 "
+            "single- vs multi-threaded division gap",
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(run_ablation())
+
+
+def test_ext_division(benchmark, experiment):
+    dividend, divisor = _operands(8)
+    benchmark(lambda: newton_raphson_divmod(dividend, divisor))
+
+    by_width = {row[0]: row for row in experiment.rows}
+    # Binary search iteration growth is ~linear in bits.
+    assert by_width[16][1] > 6 * by_width[2][1]
+    # Newton-Raphson stays logarithmic: iterations grow by at most a few.
+    assert by_width[16][3] <= by_width[2][3] + 6
+    # At 16 words the iterative methods need far fewer probes.
+    assert by_width[16][3] < by_width[16][1] / 10
+    assert by_width[16][5] < by_width[16][1] / 10

@@ -1,0 +1,39 @@
+"""Figure 1: the motivation experiment (SUM(c1+c2), DOUBLE vs DECIMAL)."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig01_motivation
+from repro.engine import Database
+from repro.workloads import figure1
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(fig01_motivation.run(rows=2500))
+
+
+def test_fig01_shapes(benchmark, experiment):
+    """DECIMAL is exact and slower; DOUBLE answers disagree across engines."""
+    relation = figure1.build_relation("low-p", rows=2000)
+    db = Database(simulate_rows=10_000_000)
+    db.register(relation)
+
+    def run_low_p():
+        db.kernel_cache.clear()
+        return db.execute("SELECT SUM(c1 + c2) FROM R")
+
+    benchmark(run_low_p)
+
+    rows = {row[0]: row for row in zip(*[experiment.column(h) for h in experiment.headers])}
+    for engine in ("PostgreSQL", "CockroachDB"):
+        engine_row = rows[engine]
+        assert engine_row[1] < engine_row[2] < engine_row[3]  # DOUBLE < low-p < high-p
+        assert engine_row[5] == "NO"  # DOUBLE result inexact
+    # The paper's headline: UltraPrecise low-p is ~1.04x its DOUBLE time.
+    up = rows["UltraPrecise"]
+    assert up[4] == pytest.approx(1.04, abs=0.05)
+    # PostgreSQL's DECIMAL penalty is much larger than UltraPrecise's.
+    assert rows["PostgreSQL"][4] > 2.0
+    # The inconsistent-DOUBLE note must have fired.
+    assert any("inconsistent" in note for note in experiment.notes)

@@ -1,0 +1,36 @@
+"""Figure 10: alignment scheduling ablation."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig10_alignment
+from repro.core.jit import JitOptions, compile_expression
+from repro.gpusim import kernel_time
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(fig10_alignment.run())
+
+
+def test_fig10_scheduling(benchmark, experiment):
+    schema = fig10_alignment.schema_for(32)
+
+    def compile_and_time():
+        compiled = compile_expression("a + b + a + a + a", schema, JitOptions())
+        return kernel_time(compiled.kernel, 10_000_000)
+
+    benchmark(compile_and_time)
+
+    rows = experiment.rows
+    # Alignments always drop to exactly 1.
+    assert all(row[6] == 1 for row in rows)
+    assert [row[5] for row in rows if row[0] == "a+b+a"] == [2] * 5
+    assert [row[5] for row in rows if row[0] == "a+b+a+a+a+a+a"] == [6] * 5
+    # Savings grow with expression length at fixed LEN=32.
+    savings32 = {row[0]: row[4] for row in rows if row[1] == 32}
+    assert savings32["a+b+a"] < savings32["a+b+a+a+a"] < savings32["a+b+a+a+a+a+a"]
+    # The paper's headline: ~34% for the long expressions at LEN=32.
+    assert savings32["a+b+a+a+a"] == pytest.approx(34.0, abs=12.0)
+    # Every configuration saves something.
+    assert all(row[4] > 0 for row in rows)

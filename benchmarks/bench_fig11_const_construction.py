@@ -1,0 +1,34 @@
+"""Figure 11: constant construction (1 + a)."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig11_const_construction
+from repro.core.jit import JitOptions, compile_expression
+from repro.gpusim import kernel_time
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(fig11_const_construction.run())
+
+
+def test_fig11_speedups(benchmark, experiment):
+    schema = fig11_const_construction.schema_for(8)
+
+    def compile_both():
+        fast = compile_expression("1 + a", schema, JitOptions())
+        slow = compile_expression(
+            "1 + a", schema, JitOptions(constant_construction=False, constant_alignment=False)
+        )
+        return kernel_time(fast.kernel, 10_000_000), kernel_time(slow.kernel, 10_000_000)
+
+    benchmark(compile_both)
+
+    speedups = experiment.column("speedup")
+    paper = experiment.column("paper speedup")
+    # Speedup shrinks as precision grows (fixed conversion amortised).
+    assert speedups[0] > speedups[-1]
+    # Each point lands near the paper's value.
+    for ours, theirs in zip(speedups, paper):
+        assert ours == pytest.approx(theirs, abs=0.12)

@@ -1,0 +1,30 @@
+"""Figure 12: constant pre-calculation."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig12_const_precalc
+from repro.core.jit import JitOptions, compile_expression
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(fig12_const_precalc.run())
+
+
+def test_fig12_savings(benchmark, experiment):
+    schema = fig12_const_precalc.schema_for(8)
+
+    benchmark(lambda: compile_expression("1 + a + 2 + 11", schema, JitOptions()))
+
+    rows = experiment.rows
+    by_expr = {}
+    for row in rows:
+        by_expr.setdefault(row[0], []).append(row[4])
+    # 1+a+2-3 reduces to `a`: no kernel at all, 100% saved at every LEN.
+    assert all(saving == 100 for saving in by_expr["1+a+2-3"])
+    # The other two save meaningfully (paper: up to 62.55% / 62.50%).
+    assert max(by_expr["1+a+2+11"]) > 35
+    assert max(by_expr["0.25*(a+b)*4"]) > 35
+    assert all(saving > 0 for saving in by_expr["1+a+2+11"])
+    assert all(saving > 0 for saving in by_expr["0.25*(a+b)*4"])

@@ -1,0 +1,54 @@
+"""Figure 13: multi-threaded (TPI) arithmetic kernels."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig13_tpi
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.core.multithread import cgbn
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(fig13_tpi.run())
+
+
+def _rows_for(experiment, op):
+    return {row[1]: row for row in experiment.rows if row[0] == op}
+
+
+def test_fig13_addition(benchmark, experiment):
+    """Group addition correctness under benchmark + the paper's shape."""
+    spec = DecimalSpec(30, 2)
+    result_spec = inference.add_result(spec, spec)
+    a = cgbn.GroupValue.from_unscaled(10**29 - 7, spec, 8)
+    b = cgbn.GroupValue.from_unscaled(-(10**28), spec, 8)
+
+    out = benchmark(lambda: cgbn.add(a, b, result_spec))
+    assert out.unscaled == (10**29 - 7) - 10**28
+
+    adds = _rows_for(experiment, "a+b")
+    # LEN=32: TPI=8 clearly beats single-threaded (paper 49.67 -> 23.67 ms).
+    assert adds[32][4] < 0.6 * adds[32][2]
+    # LEN=4: single and multi-threaded are comparable (paper: both 3.67 ms).
+    assert adds[4][3] < 1.2 * adds[4][2]
+    # Absolute anchor band for the LEN=32 single-threaded add.
+    assert 35 <= adds[32][2] <= 70
+
+
+def test_fig13_division_restriction(benchmark, experiment):
+    from repro.core.multithread import division_supported
+
+    benchmark(lambda: [division_supported(l, t) for l in (2, 4, 8, 16, 32) for t in (1, 4, 8)])
+    divs = _rows_for(experiment, "a/b")
+    # The famous missing cell: TPI=4 cannot divide LEN=32.
+    assert divs[32][3] is None
+    assert divs[32][4] is not None
+    # Newton-Raphson at TPI=8 crushes the single-threaded binary search.
+    assert divs[32][4] < divs[32][2] / 5
+    # Division is the most expensive operator single-threaded.
+    adds = _rows_for(experiment, "a+b")
+    muls = _rows_for(experiment, "a*b")
+    assert divs[32][2] > muls[32][2] > 0
+    assert divs[32][2] > adds[32][2]

@@ -1,0 +1,40 @@
+"""Figure 14(a): multi-threaded aggregation (Query 3)."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig14a_aggregation
+from repro.core.multithread import aggregate
+from repro.storage import datagen
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(fig14a_aggregation.run(rows=2500))
+
+
+def test_fig14a_sum(benchmark, experiment):
+    spec = fig14a_aggregation.COLUMN_SPECS[8]
+    relation = datagen.relation_r3(spec, rows=2500, seed=149)
+    values = relation.column("c1").unscaled()
+
+    run = benchmark(lambda: aggregate(values, spec, "sum", tpi=8, simulate_tuples=10_000_000))
+    assert run.value == sum(values)
+
+    lens = experiment.column("LEN")
+    monet = experiment.column("MonetDB (s)")
+    heavy = experiment.column("HEAVY.AI (s)")
+    rateup = experiment.column("RateupDB (s)")
+    ours = experiment.column("UltraPrecise (s)")
+    ratio = experiment.column("PG / UP")
+
+    # Capability walls as in the paper.
+    assert heavy[1] is None and monet[2] is None and rateup[2] is None
+    # MonetDB (no disk I/O) is the fastest where it runs.
+    assert monet[0] == min(v for v in (monet[0], heavy[0], rateup[0], ours[0]) if v is not None)
+    # UltraPrecise beats RateupDB at LEN=2 and 4 (paper: -33% / -12.5%).
+    assert ours[0] < rateup[0]
+    assert ours[1] < rateup[1]
+    # PostgreSQL stays within a small factor, shrinking with LEN
+    # (paper: +112% -> +29%).
+    assert ratio[0] > ratio[-1] > 1.0

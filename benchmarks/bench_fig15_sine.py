@@ -1,0 +1,58 @@
+"""Figure 15: trigonometric approximation (Query 5)."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import fig15_sine
+from repro.engine import Database
+from repro.workloads import trig
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(
+        fig15_sine.run(rows=80, columns=("c1", "c2"), terms_range=(2, 3, 5, 8, 10, 11))
+    )
+
+
+def _rows_for(experiment, label):
+    return {row[1]: row for row in experiment.rows if row[0] == label}
+
+
+def test_fig15_sine(benchmark, experiment):
+    workload = trig.build_workload(rows=80)
+    db = Database(simulate_rows=10_000_000)
+    db.register(workload.relation)
+
+    def three_terms():
+        db.kernel_cache.clear()
+        return db.execute(workload.query("c2", 3), include_scan=False)
+
+    benchmark(three_terms)
+
+    near_zero = _rows_for(experiment, "sin(0.01+e)")
+    near_pi4 = _rows_for(experiment, "sin(0.78+e)")
+
+    # UltraPrecise ~2 orders faster than every peer at every point.
+    for rows in (near_zero, near_pi4):
+        for terms, row in rows.items():
+            up_time = row[2]
+            for index in (4, 6, 8):  # PG / H2 / CockroachDB times
+                assert row[index] > 10 * up_time
+
+    # Scalability: UltraPrecise grows ~1 s from 2 to 11 terms (paper 1.13 s);
+    # the CPU engines grow by tens-to-hundreds of seconds.
+    up_growth = near_pi4[11][2] - near_pi4[2][2]
+    pg_growth = near_pi4[11][4] - near_pi4[2][4]
+    assert up_growth < 3.0
+    assert pg_growth > 30.0
+
+    # Accuracy keeps improving with terms near pi/4 ...
+    assert near_pi4[11][3] < near_pi4[5][3] < near_pi4[2][3]
+    # ... but saturates near 0.01 (paper: "after 4 or 5 terms") ...
+    assert near_zero[11][3] == pytest.approx(near_zero[8][3], rel=2)
+    # ... except H2, whose +20 division digits keep helping (column 7 = H2 MAE).
+    assert near_zero[11][7] < near_zero[8][7] or near_zero[11][7] < near_zero[5][7] / 1e3
+
+    # PostgreSQL's parallel-scan kick-in: term 10 runs faster than term 8.
+    assert near_pi4[10][4] < near_pi4[8][4]

@@ -1,0 +1,31 @@
+"""Section IV-A: Nsight-style kernel profiles."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.experiments import profile_nsight
+from repro.core.decimal.context import DecimalSpec
+from repro.core.jit import compile_expression
+from repro.gpusim import profile_kernel
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(profile_nsight.run())
+
+
+def test_profile(benchmark, experiment):
+    schema = {"a": DecimalSpec(75, 2), "b": DecimalSpec(75, 2)}
+    compiled = compile_expression("a + b", schema)
+    benchmark(lambda: profile_kernel(compiled.kernel))
+
+    rows = {(row[0], row[1]): row for row in experiment.rows}
+    # All four kernels are memory-bound with single-digit SM utilisation.
+    for row in experiment.rows:
+        assert row[4] == "yes"
+        assert row[2] < 10
+    # Occupancy: 100% at LEN=8, dropping at LEN=32 (mul below add).
+    assert rows[("a+b", 8)][3] == pytest.approx(100.0)
+    assert rows[("a*b", 8)][3] == pytest.approx(100.0)
+    assert rows[("a+b", 32)][3] < 70
+    assert rows[("a*b", 32)][3] < rows[("a+b", 32)][3]

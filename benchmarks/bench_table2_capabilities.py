@@ -1,0 +1,26 @@
+"""Table II: DECIMAL capability matrix verification."""
+
+import pytest
+
+from conftest import emit
+from repro.baselines.capabilities import TABLE_II
+from repro.bench.experiments import table2_capabilities
+from repro.core.decimal.context import DecimalSpec
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return emit(table2_capabilities.run())
+
+
+def test_table2(benchmark, experiment):
+    spec = DecimalSpec(38, 10)
+    benchmark(lambda: [cap.supports(spec) for cap in TABLE_II.values()])
+
+    rows = {row[0]: row for row in experiment.rows}
+    assert all(row[3] == "ok" for row in experiment.rows)
+    assert rows["HEAVY.AI"][2] == 2
+    assert rows["MonetDB"][2] == 4
+    assert rows["RateupDB"][2] == 4
+    assert rows["PostgreSQL"][2] == "all"
+    assert rows["CockroachDB"][2] == "all"

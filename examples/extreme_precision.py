@@ -1,0 +1,66 @@
+"""Arbitrary precision in practice: from 9 digits to 20,000.
+
+The paper's introduction motivates arbitrary precision with workloads far
+beyond financial data: orthogonal polynomials needing 4-5x double
+precision, and gradient-domain processing needing up to 20,000 digits for
+a Poisson equation.  This example walks the precision ladder and shows the
+same API (and the same compact representation) handling all of it, ending
+with a 10,000-digit multiplication through a JIT-compiled kernel.
+
+Run:  python examples/extreme_precision.py
+"""
+
+from repro import Database, DecimalSpec
+from repro.core.decimal.context import words_for_precision, bytes_for_precision
+from repro.storage import Column, Relation
+
+
+def main() -> None:
+    print("precision ladder: storage footprint per value")
+    print(f"{'digits':>8s} {'words (Lw)':>10s} {'compact bytes (Lb)':>20s}")
+    for precision in (9, 19, 38, 307, 1000, 20_000):
+        print(
+            f"{precision:>8,d} {words_for_precision(precision):>10,d} "
+            f"{bytes_for_precision(precision):>20,d}"
+        )
+
+    print("\n-- exact arithmetic at 1,000 digits --")
+    spec = DecimalSpec(1000, 0)
+    a = 10**999 - 123456789
+    b = 10**998 + 987654321
+    relation = Relation(
+        "huge", [Column.decimal_from_unscaled("a", [a], spec),
+                 Column.decimal_from_unscaled("b", [b], spec)]
+    )
+    db = Database()
+    db.register(relation)
+    result = db.execute("SELECT a + b FROM huge")
+    value = result.rows[0][0]
+    assert value.unscaled == a + b
+    text = str(value)
+    print(f"a + b = {text[:40]}...{text[-20:]}  ({len(text)} digits, exact)")
+
+    print("\n-- 10,000-digit multiplication through a JIT kernel --")
+    half = DecimalSpec(10_000, 0)
+    x = 10**9_999 + 271828
+    y = 10**9_999 - 314159
+    relation = Relation(
+        "poisson", [Column.decimal_from_unscaled("x", [x], half),
+                    Column.decimal_from_unscaled("y", [y], half)]
+    )
+    db.register(relation)
+    result = db.execute("SELECT x * y FROM poisson")
+    product = result.rows[0][0]
+    assert product.unscaled == x * y
+    print(f"x * y has {len(str(product.unscaled))} digits -- exact")
+    print(f"result container: DECIMAL({product.spec.precision}, {product.spec.scale}), "
+          f"Lw = {product.spec.words} words")
+    print(
+        f"\nsimulated kernel time at 10M tuples would be "
+        f"{db.execute('SELECT x * y FROM poisson', simulate_rows=10_000_000).report.kernel_seconds:.1f} s"
+        " -- the practical limit is memory, exactly as the paper says."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""RSA encryption expressed as a SQL query (the paper's Query 4).
+
+Encrypting a message X with public key (e=3, N) is X**3 mod N, written as
+
+    SELECT c1 * c1 % N * c1 % N FROM R4;
+
+which only needs DECIMAL multiplication and modulo -- arbitrary-precision
+fixed-point arithmetic doing real cryptography inside the database.
+
+Run:  python examples/rsa_in_sql.py
+"""
+
+from repro import Database
+from repro.workloads import rsa
+
+
+def main() -> None:
+    # LEN=8: 35-digit messages, a 36-digit modulus (products span 8 words).
+    workload = rsa.build_workload(length=8, rows=6, seed=4)
+    print(f"modulus N  = {workload.modulus}")
+    print(f"exponent e = {rsa.PUBLIC_EXPONENT}")
+    print(f"query      = {workload.query}\n")
+
+    db = Database(simulate_rows=10_000_000)
+    db.register(workload.relation)
+    result = db.execute(workload.query)
+
+    messages = workload.relation.column("c1").unscaled()
+    expected = workload.oracle()
+    print(f"{'message':>36s}  {'ciphertext (X^3 mod N)':>38s}")
+    for message, (ciphertext,) in zip(messages, result.rows):
+        assert ciphertext.unscaled == pow(message, 3, workload.modulus)
+        print(f"{message:>36d}  {ciphertext.unscaled:>38d}")
+    assert [c.unscaled for (c,) in result.rows] == expected
+
+    report = result.report
+    print(
+        f"\nsimulated time at 10M messages: {report.total_seconds * 1e3:.0f} ms "
+        f"(paper: ~601 ms at this key size; PostgreSQL needs ~47x longer)"
+    )
+
+
+if __name__ == "__main__":
+    main()

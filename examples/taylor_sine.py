@@ -1,0 +1,45 @@
+"""High-precision trigonometry in SQL via Taylor series (Query 5).
+
+Approximates sin(x) for DECIMAL(9,8) radians with polynomials of growing
+length and reports the mean absolute error against an exact rational
+oracle -- showing both the precision gains and the saturation the paper
+analyses (the s1+4 division rule floors the error near x=0.01).
+
+Run:  python examples/taylor_sine.py
+"""
+
+from fractions import Fraction
+
+from repro import Database
+from repro.workloads import trig
+
+
+def main() -> None:
+    workload = trig.build_workload(rows=100, seed=5)
+    db = Database(simulate_rows=10_000_000)
+    db.register(workload.relation)
+
+    print("three-term query (the paper's Query 5):")
+    print(f"  {workload.query('c1', 3)}\n")
+
+    for column, label in (("c1", "x ~ 0.01"), ("c2", "x ~ pi/4")):
+        truths = workload.oracle(column)
+        print(f"-- {label} --")
+        print(f"{'terms':>6s} {'MAE':>12s} {'sim time (ms)':>14s}")
+        for terms in (2, 3, 5, 8, 11):
+            result = db.execute(workload.query(column, terms), include_scan=False)
+            values = [Fraction(*v.to_fraction_parts()) for (v,) in result.rows]
+            mae = trig.mean_absolute_error(values, truths)
+            print(f"{terms:>6d} {mae:>12.2e} {result.report.total_seconds * 1e3:>14.0f}")
+        print()
+
+    print(
+        "Near pi/4 the error keeps falling with more terms; near 0.01 it\n"
+        "saturates around 1e-28 -- the truncation floor of the DECIMAL\n"
+        "division rule (section III-B3), exactly the paper's Figure 15\n"
+        "observation.  (H2 dodges it by carrying 20 extra division digits.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

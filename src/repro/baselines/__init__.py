@@ -1,0 +1,37 @@
+"""Peer-database models: capability gates + exact semantics + cost models.
+
+One model per system the paper compares against (section IV, Table II).
+Each runs the same queries UltraPrecise runs -- producing exact (or, for
+DOUBLE mode, characteristically inexact) results -- and reports simulated
+times from coefficients calibrated to the paper's measurements.
+"""
+
+from repro.baselines.base import BaselineEngine, BaselineResult, EngineCosts, WorkloadProfile, profile_expression
+from repro.baselines.capabilities import TABLE_II, DecimalCapability, capability, max_len_supported
+from repro.baselines.cockroach import CockroachModel
+from repro.baselines.h2 import H2Model
+from repro.baselines.heavyai import HeavyAiModel
+from repro.baselines.monetdb import MonetDBModel
+from repro.baselines.postgres import PostgresModel
+from repro.baselines.rateupdb import RateupDBModel
+from repro.baselines.registry import create, names
+
+__all__ = [
+    "BaselineEngine",
+    "BaselineResult",
+    "CockroachModel",
+    "DecimalCapability",
+    "EngineCosts",
+    "H2Model",
+    "HeavyAiModel",
+    "MonetDBModel",
+    "PostgresModel",
+    "RateupDBModel",
+    "TABLE_II",
+    "WorkloadProfile",
+    "capability",
+    "create",
+    "max_len_supported",
+    "names",
+    "profile_expression",
+]

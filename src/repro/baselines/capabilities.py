@@ -1,0 +1,139 @@
+"""DECIMAL capability limits across database systems (paper Table II).
+
+Each entry records the maximum precision/scale a system supports, plus the
+internal word width that caps which of the paper's LEN configurations it
+can execute (e.g. HEAVY.AI holds every DECIMAL in one 64-bit word, so it
+fails all experiments beyond LEN=2; MonetDB and RateupDB stop at LEN=4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.decimal.context import DecimalSpec, words_for_precision
+from repro.errors import CapabilityError
+
+
+@dataclass(frozen=True)
+class DecimalCapability:
+    """One system's DECIMAL limits."""
+
+    system: str
+    max_precision: Optional[int]  # None = unlimited ("no limit")
+    max_scale: Optional[int]
+    #: Hard cap on the 32-bit word length of any value the engine can hold
+    #: internally (None = unbounded).  This is what actually fails queries
+    #: in the paper's experiments.
+    max_words: Optional[int] = None
+    notes: str = ""
+
+    def check(self, spec: DecimalSpec) -> None:
+        """Gate a *declared column* spec (precision + scale + word cap)."""
+        if self.max_precision is not None and spec.precision > self.max_precision:
+            raise CapabilityError(
+                f"{self.system} supports DECIMAL precision <= {self.max_precision}, "
+                f"got {spec.precision}"
+            )
+        if self.max_scale is not None and spec.scale > self.max_scale:
+            raise CapabilityError(
+                f"{self.system} supports DECIMAL scale <= {self.max_scale}, got {spec.scale}"
+            )
+        self.check_intermediate(spec)
+
+    def check_intermediate(self, spec: DecimalSpec) -> None:
+        """Gate an intermediate/result spec (the internal word cap only).
+
+        Declared precision limits do not bind intermediates: Figure 8 shows
+        RateupDB (declared max 36) executing the LEN=4 configuration whose
+        *result* precision is 38 -- what actually fails it beyond LEN=4 is
+        its five-word internal representation.
+        """
+        if self.max_words is not None and spec.words > self.max_words:
+            raise CapabilityError(
+                f"{self.system} stores DECIMAL in at most {self.max_words} words, "
+                f"need {spec.words} for {spec}"
+            )
+
+    def supports(self, spec: DecimalSpec) -> bool:
+        try:
+            self.check(spec)
+        except CapabilityError:
+            return False
+        return True
+
+    def supports_intermediate(self, spec: DecimalSpec) -> bool:
+        try:
+            self.check_intermediate(spec)
+        except CapabilityError:
+            return False
+        return True
+
+
+#: Table II, augmented with the internal word caps section IV-A reports.
+TABLE_II: Dict[str, DecimalCapability] = {
+    "PostgreSQL": DecimalCapability("PostgreSQL", 147_455, 16_383),
+    "YugabyteDB": DecimalCapability("YugabyteDB", 147_455, 16_383),
+    "H2": DecimalCapability("H2", 100_000, 100_000),
+    "PolarDB": DecimalCapability("PolarDB", 1000, 1000),
+    "Greenplum": DecimalCapability("Greenplum", None, None),
+    "CockroachDB": DecimalCapability("CockroachDB", None, None),
+    "Vertica": DecimalCapability("Vertica", 1024, 1024),
+    "SparkSQL": DecimalCapability("SparkSQL", 38, 38),
+    "PrestoDB": DecimalCapability("PrestoDB", 38, 18),
+    "SQL Server": DecimalCapability("SQL Server", 38, 38),
+    "HEAVY.AI": DecimalCapability(
+        "HEAVY.AI", 18, 18, max_words=2, notes="one 64-bit word for every DECIMAL"
+    ),
+    "MonetDB": DecimalCapability(
+        "MonetDB", 38, 38, max_words=4, notes="two 64-bit words internally"
+    ),
+    "RateupDB": DecimalCapability(
+        "RateupDB", 36, 36, max_words=5, notes="at most five 32-bit words internally"
+    ),
+    "Hive": DecimalCapability("Hive", 38, 38),
+    "Oracle": DecimalCapability("Oracle", 38, 127, notes="scale may exceed precision"),
+    "MySQL": DecimalCapability("MySQL", 65, 30),
+    "Google Spanner": DecimalCapability("Google Spanner", 38, 9),
+    "MongoDB": DecimalCapability(
+        "MongoDB", None, None, notes="string exact value + double for fast arithmetic"
+    ),
+    "UltraPrecise": DecimalCapability(
+        "UltraPrecise", None, None, notes="arbitrary precision on GPU (this paper)"
+    ),
+}
+
+
+def capability(system: str) -> DecimalCapability:
+    """Look up a system's capability row."""
+    try:
+        return TABLE_II[system]
+    except KeyError:
+        raise CapabilityError(f"unknown system {system!r}") from None
+
+
+def max_len_supported(system: str) -> Optional[int]:
+    """Largest paper LEN configuration a system can run (None = all).
+
+    A LEN runs when the engine's internal representation admits the
+    *result* width; declared-precision caps bind columns, not results
+    (see :meth:`DecimalCapability.check_intermediate`).
+    """
+    from repro.core.decimal.context import PAPER_RESULT_PRECISIONS
+
+    cap = capability(system)
+    best = 0
+    lengths = (2, 4, 8, 16, 32)
+    for length in lengths:
+        precision = PAPER_RESULT_PRECISIONS[length]
+        spec = DecimalSpec(precision, 2)
+        if not cap.supports_intermediate(spec):
+            continue
+        # Engines without an internal word cap are still bounded by their
+        # declared precision: they cannot even store the result column.
+        if cap.max_words is None and cap.max_precision is not None:
+            if precision > cap.max_precision:
+                continue
+        best = length
+    return None if best == lengths[-1] else (best or None)

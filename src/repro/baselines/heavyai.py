@@ -1,0 +1,44 @@
+"""HEAVY.AI v6.3.0 model.
+
+A GPU database that represents every DECIMAL in a single 64-bit word
+regardless of declared precision/scale, so it only executes the LEN=2
+configurations and has no DECIMAL modulo operator (Figure 14(c) fails).
+Despite evaluating decimals as plain integers it is "surprisingly ... the
+slowest one among GPU databases" on Query 1 (800 ms at LEN=2) -- its
+fixed query setup dominates these simple kernels.
+
+Anchors: Query 1 LEN=2 800 ms; Query 2 LEN=2 1.09 s; SUM 0.47 s;
+TPC-H Q1 original 489 ms / LEN=2 642 ms.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEngine, EngineCosts
+from repro.errors import CapabilityError
+
+
+class HeavyAiModel(BaselineEngine):
+    """HEAVY.AI: 64-bit-only DECIMAL on GPU."""
+
+    name = "HEAVY.AI"
+    version = "6.3.0"
+
+    #: No DECIMAL modulo support (fails the RSA workload).
+    supports_modulo = False
+
+    def default_costs(self) -> EngineCosts:
+        return EngineCosts(
+            per_tuple=6e-9,  # int64 kernel work
+            per_op=4e-9,
+            add_per_digit=0.0,  # decimals are single machine words
+            mul_per_digit_sq=0.0,
+            div_per_digit_sq=0.0,
+            agg_per_tuple=3e-9,
+            agg_per_digit=0.0,
+            scan_bandwidth=2.0e9,
+            parallelism=1.0,
+            fixed_overhead=0.40,  # query setup/fragment scheduling dominates
+        )
+
+    def run_modulo_query(self, *args, **kwargs):
+        raise CapabilityError("HEAVY.AI does not support the modulo operator on DECIMAL")

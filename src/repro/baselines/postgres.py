@@ -1,0 +1,67 @@
+"""PostgreSQL v14.4 model.
+
+PostgreSQL's ``numeric`` type (src/backend/utils/adt/numeric.c, >10K lines
+of C, as the paper's introduction notes) stores base-10000 digit arrays and
+runs arbitrary-precision arithmetic in an interpreted, row-at-a-time
+executor.  Calibration anchors from the paper:
+
+* Figure 14(b): original TPC-H Q1 is 41.28x slower than UltraPrecise's
+  684.67 ms (~28 s), falling to 7.70x at LEN=32 (~47 s);
+* Figure 14(c): RSA encryption 22.2x .. 247.6x slower than UltraPrecise
+  (~12.8 s at LEN=4 to ~252 s at LEN=32 -- the quadratic digit-loop term);
+* Figure 15: PostgreSQL enables a parallel scan once the planner's cost
+  estimate is high enough, visibly dropping the trig workload's time when
+  the 10th Taylor term is appended.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEngine, EngineCosts, WorkloadProfile
+
+
+class PostgresModel(BaselineEngine):
+    """PostgreSQL with arbitrary-precision ``numeric``."""
+
+    name = "PostgreSQL"
+    version = "14.4"
+
+    #: Expression-tree size beyond which the planner's cost estimate
+    #: crosses the parallel threshold: Figure 15 shows the parallel scan
+    #: kicking in exactly when the 10th Taylor term is appended (the
+    #: polynomial's expression tree passes ~190 nodes there).
+    #: Figure 1 calibration: numeric ops cost ~3x float8 ops.
+    double_discount = 0.30
+
+    PARALLEL_EXPRESSION_NODES = 190
+    PARALLEL_WORKERS = 3.0
+    #: Pure column aggregations (no per-tuple arithmetic in the target
+    #: list) also run parallel -- why PostgreSQL stays within ~2x of the
+    #: GPU engines on Figure 14(a)'s bare SUM.
+    AGGREGATE_WORKERS = 6.0
+
+    def default_costs(self) -> EngineCosts:
+        return EngineCosts(
+            per_tuple=0.15e-6,  # tuple deform + expression dispatch
+            per_op=0.08e-6,  # numeric function call overhead
+            add_per_digit=2.0e-9,  # base-10000 digit walk
+            mul_per_digit_sq=0.078e-9,  # schoolbook digit products
+            div_per_digit_sq=0.16e-9,  # div_var's long division
+            agg_per_tuple=0.22e-6,  # aggregate transition function
+            agg_per_digit=1.2e-9,
+            scan_bandwidth=1.2e9,
+            parallelism=1.0,
+            fixed_overhead=0.020,
+        )
+
+    def query_seconds(
+        self, profile: WorkloadProfile, rows: int, include_scan: bool = True
+    ) -> float:
+        """Adds the planner's parallel-plan decisions to the base model."""
+        workers = 1.0
+        if profile.arithmetic_ops == 0 and profile.aggregates > 0:
+            workers = self.AGGREGATE_WORKERS
+        elif profile.expression_nodes >= self.PARALLEL_EXPRESSION_NODES:
+            workers = self.PARALLEL_WORKERS
+        arithmetic = self.costs.arithmetic_seconds(profile) * rows / workers
+        scan = (profile.row_bytes * rows / self.costs.scan_bandwidth) if include_scan else 0.0
+        return self.costs.fixed_overhead + scan / min(workers, 2.0) + arithmetic

@@ -1,0 +1,42 @@
+"""RateupDB model (the paper's host system, without UltraPrecise).
+
+RateupDB is the CPU/GPU hybrid database UltraPrecise is implemented in;
+the baseline version represents decimals in at most five 32-bit words
+(max precision 36), stores them word-aligned (the *non-compact* layout of
+section III-B1), and evaluates expressions with pre-compiled operators --
+no JIT, so no compile latency, but also none of the representation or
+scheduling optimisations.
+
+Anchors: Query 1 622 ms (LEN=2) / 1055 ms (LEN=4) vs UltraPrecise's
+714/902 ms -- faster at LEN=2 (UltraPrecise pays the JIT), slower at
+LEN=4 (the compact representation wins as data widens); SUM 33%/12.5%
+slower than UltraPrecise (Figure 14(a)); TPC-H Q1 1.52x-1.70x slower
+(Figure 14(b)).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEngine, EngineCosts
+
+
+class RateupDBModel(BaselineEngine):
+    """RateupDB: GPU decimals, 5-word cap, non-compact representation."""
+
+    name = "RateupDB"
+    version = "academic"
+
+    def default_costs(self) -> EngineCosts:
+        return EngineCosts(
+            per_tuple=4e-9,
+            per_op=4e-9,
+            #: Word-aligned (4*Lw+1 bytes) values move ~40% more data per
+            #: digit than the compact layout, reflected in the digit rates.
+            add_per_digit=0.9e-9,
+            mul_per_digit_sq=0.03e-9,
+            div_per_digit_sq=0.08e-9,
+            agg_per_tuple=8e-9,
+            agg_per_digit=0.12e-9,
+            scan_bandwidth=2.5e9,
+            parallelism=1.0,
+            fixed_overhead=0.045,  # operator pipeline setup; no JIT though
+        )

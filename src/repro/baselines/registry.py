@@ -1,0 +1,39 @@
+"""Registry of baseline engine models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.baselines.base import BaselineEngine
+from repro.baselines.cockroach import CockroachModel
+from repro.baselines.h2 import H2Model
+from repro.baselines.heavyai import HeavyAiModel
+from repro.baselines.monetdb import MonetDBModel
+from repro.baselines.postgres import PostgresModel
+from repro.baselines.rateupdb import RateupDBModel
+from repro.errors import BaselineError
+
+_ENGINES: Dict[str, Type[BaselineEngine]] = {
+    model.name: model
+    for model in (
+        PostgresModel,
+        MonetDBModel,
+        HeavyAiModel,
+        RateupDBModel,
+        CockroachModel,
+        H2Model,
+    )
+}
+
+
+def create(name: str) -> BaselineEngine:
+    """Instantiate a baseline engine model by its Table II name."""
+    try:
+        return _ENGINES[name]()
+    except KeyError:
+        raise BaselineError(f"unknown baseline engine {name!r}") from None
+
+
+def names() -> List[str]:
+    """All modelled engines."""
+    return sorted(_ENGINES)

@@ -1,0 +1,38 @@
+"""Benchmark CLI.
+
+    python -m repro.bench             # list experiments
+    python -m repro.bench fig14c      # run one, print its table
+    python -m repro.bench all         # run everything, write EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import report
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("available experiments:")
+        for experiment_id in report.experiment_ids():
+            print(f"  {experiment_id}")
+        print("  all   (run everything and write EXPERIMENTS.md)")
+        return 0
+    target = argv[0]
+    if target == "all":
+        report.generate_experiments_md()
+        print("wrote EXPERIMENTS.md (tables also under bench_results/)")
+        return 0
+    if target not in report.experiment_ids():
+        print(f"unknown experiment {target!r}; run with no arguments to list")
+        return 2
+    experiment = report.run_experiment(target)
+    print(experiment.format())
+    experiment.save("bench_results")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

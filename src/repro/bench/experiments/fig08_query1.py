@@ -1,0 +1,110 @@
+"""Figure 8: Query 1 (``SELECT c1+c2+c3 FROM R1``) across databases.
+
+Sweeps the result precision over LEN = 2/4/8/16/32 words.  HEAVY.AI only
+executes LEN=2 (one 64-bit word per DECIMAL), MonetDB and RateupDB stop at
+LEN=4, PostgreSQL and UltraPrecise complete everything.  Paper anchors:
+MonetDB 461/800 ms, RateupDB 622/1055 ms, UltraPrecise 714/902 ms at
+LEN=2/4; HEAVY.AI 800 ms at LEN=2; UltraPrecise up to 5.24x faster than
+PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines import create as create_baseline
+from repro.bench.harness import Experiment
+from repro.core.decimal.context import PAPER_LENS, PAPER_RESULT_PRECISIONS, DecimalSpec
+from repro.engine import Database
+from repro.errors import CapabilityError
+from repro.storage import datagen
+
+QUERY = "SELECT c1 + c2 + c3 FROM R1"
+EXPRESSION = "c1 + c2 + c3"
+
+#: Paper-reported times (seconds) where the text gives them.
+PAPER_SECONDS = {
+    ("MonetDB", 2): 0.461,
+    ("MonetDB", 4): 0.800,
+    ("RateupDB", 2): 0.622,
+    ("RateupDB", 4): 1.055,
+    ("UltraPrecise", 2): 0.714,
+    ("UltraPrecise", 4): 0.902,
+    ("HEAVY.AI", 2): 0.800,
+}
+
+ENGINES = ("HEAVY.AI", "MonetDB", "RateupDB", "PostgreSQL")
+
+
+def column_spec(length: int) -> DecimalSpec:
+    """Column spec so that c1+c2+c3's result lands exactly at ``length``.
+
+    Two additions add two digits of precision, so columns sit two digits
+    below the LEN target.
+    """
+    return DecimalSpec(PAPER_RESULT_PRECISIONS[length] - 2, 2)
+
+
+def run(
+    rows: int = 1500,
+    simulate_rows: int = 10_000_000,
+    lengths=PAPER_LENS,
+    verify: bool = True,
+) -> Experiment:
+    """Run the Figure 8 sweep; returns measured seconds per engine per LEN."""
+    headers = ["LEN"] + [f"{name} (s)" for name in ENGINES] + [
+        "UltraPrecise (s)",
+        "UltraPrecise paper (s)",
+    ]
+    table: List[List] = []
+    notes: List[str] = []
+
+    for length in lengths:
+        spec = column_spec(length)
+        relation = datagen.relation_r1(spec, rows=rows, seed=81)
+        oracle = [
+            a + b + c
+            for a, b, c in zip(
+                relation.column("c1").unscaled(),
+                relation.column("c2").unscaled(),
+                relation.column("c3").unscaled(),
+            )
+        ]
+
+        db = Database(simulate_rows=simulate_rows)
+        db.register(relation)
+        result = db.execute(QUERY)
+        if verify:
+            got = [value.unscaled for (value,) in result.rows]
+            assert got == oracle, f"UltraPrecise wrong at LEN={length}"
+        up_seconds = result.report.total_seconds
+
+        row: List = [length]
+        for name in ENGINES:
+            engine = create_baseline(name)
+            try:
+                baseline = engine.run_projection(
+                    relation, EXPRESSION, simulate_rows=simulate_rows
+                )
+                if verify:
+                    got = [value.unscaled for value in baseline.values]
+                    assert got == oracle, f"{name} wrong at LEN={length}"
+                row.append(baseline.seconds)
+            except CapabilityError:
+                row.append(None)  # fails exactly as in the paper
+        row.append(up_seconds)
+        row.append(PAPER_SECONDS.get(("UltraPrecise", length)))
+        table.append(row)
+
+    notes.append(
+        "None entries reproduce the paper's capability failures: HEAVY.AI "
+        "beyond LEN=2; MonetDB/RateupDB beyond LEN=4."
+    )
+    notes.append(f"correctness verified against the big-integer oracle on {rows} real rows")
+    return Experiment(
+        experiment_id="fig08",
+        title="Query 1: SELECT c1+c2+c3 FROM R1 (10M tuples simulated)",
+        headers=headers,
+        rows=table,
+        notes=notes,
+    )

@@ -1,0 +1,98 @@
+"""Figure 9: Query 2 (``SELECT c1+c2+c3+c4, c5+c6+c7+c8 FROM R2``).
+
+Two expressions -> two generated kernels.  c1-c4 stay at DECIMAL(6, 2);
+c5-c8 widen with LEN.  More computation per tuple than Query 1, so
+UltraPrecise is the fastest in *all* cases here.  Paper anchors: LEN=2
+UltraPrecise 969 ms vs HEAVY.AI 1.09 s / RateupDB 1.02 s / MonetDB 1.27 s;
+LEN=4 UltraPrecise 1.32 s vs RateupDB 1.55 s / MonetDB 1.69 s; PostgreSQL
+up to 8.02x slower.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines import create as create_baseline
+from repro.bench.harness import Experiment
+from repro.core.decimal.context import PAPER_LENS, PAPER_RESULT_PRECISIONS, DecimalSpec
+from repro.engine import Database
+from repro.errors import CapabilityError
+from repro.storage import datagen
+
+QUERY = "SELECT c1 + c2 + c3 + c4, c5 + c6 + c7 + c8 FROM R2"
+NARROW_EXPRESSION = "c1 + c2 + c3 + c4"
+WIDE_EXPRESSION = "c5 + c6 + c7 + c8"
+
+PAPER_SECONDS = {
+    ("UltraPrecise", 2): 0.969,
+    ("UltraPrecise", 4): 1.32,
+    ("HEAVY.AI", 2): 1.09,
+    ("RateupDB", 2): 1.02,
+    ("RateupDB", 4): 1.55,
+    ("MonetDB", 2): 1.27,
+    ("MonetDB", 4): 1.69,
+}
+
+ENGINES = ("HEAVY.AI", "MonetDB", "RateupDB", "PostgreSQL")
+
+
+def wide_spec(length: int) -> DecimalSpec:
+    """c5-c8's spec: three additions below the LEN target."""
+    return DecimalSpec(PAPER_RESULT_PRECISIONS[length] - 3, 2)
+
+
+def run(
+    rows: int = 1200,
+    simulate_rows: int = 10_000_000,
+    lengths=PAPER_LENS,
+    verify: bool = True,
+) -> Experiment:
+    headers = ["LEN"] + [f"{name} (s)" for name in ENGINES] + [
+        "UltraPrecise (s)",
+        "UltraPrecise paper (s)",
+    ]
+    table: List[List] = []
+
+    for length in lengths:
+        relation = datagen.relation_r2(wide_spec(length), rows=rows, seed=91)
+        db = Database(simulate_rows=simulate_rows)
+        db.register(relation)
+        result = db.execute(QUERY)
+        if verify:
+            narrow_oracle = [
+                sum(relation.column(f"c{i}").unscaled()[r] for i in range(1, 5))
+                for r in range(rows)
+            ]
+            wide_oracle = [
+                sum(relation.column(f"c{i}").unscaled()[r] for i in range(5, 9))
+                for r in range(rows)
+            ]
+            assert [a.unscaled for a, _ in result.rows] == narrow_oracle
+            assert [b.unscaled for _, b in result.rows] == wide_oracle
+        up_seconds = result.report.total_seconds
+
+        row: List = [length]
+        for name in ENGINES:
+            engine = create_baseline(name)
+            try:
+                narrow = engine.run_projection(relation, NARROW_EXPRESSION, simulate_rows=simulate_rows)
+                wide = engine.run_projection(
+                    relation, WIDE_EXPRESSION, simulate_rows=simulate_rows, include_scan=False
+                )
+                row.append(narrow.seconds + wide.seconds)
+            except CapabilityError:
+                row.append(None)
+        row.append(up_seconds)
+        row.append(PAPER_SECONDS.get(("UltraPrecise", length)))
+        table.append(row)
+
+    return Experiment(
+        experiment_id="fig09",
+        title="Query 2: two expressions, two kernels (10M tuples simulated)",
+        headers=headers,
+        rows=table,
+        notes=[
+            "UltraPrecise generates two GPU kernels for this query (section IV-A)",
+            "paper: UltraPrecise fastest in all cases; up to 8.02x vs PostgreSQL",
+        ],
+    )

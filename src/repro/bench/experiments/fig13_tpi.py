@@ -1,0 +1,75 @@
+"""Figure 13: multi-threaded (TPI) kernels for a+b, a*b, a/b.
+
+Sweeps TPI over {1, 4, 8, 16, 32} and LEN over {2..32}.  Anchors: at LEN=4
+single- and 4-threaded additions tie (3.67 ms); at LEN=32 the
+single-threaded add takes 49.67 ms vs 23.67 ms at TPI=8 (multiplication:
+45.00 -> 23.33 ms).  The division entry at TPI=4 / LEN=32 is absent
+because the CGBN Newton-Raphson path requires ``LEN/TPI <= TPI``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.harness import Experiment
+from repro.core.decimal.context import PAPER_LENS, PAPER_RESULT_PRECISIONS, DecimalSpec
+from repro.core.jit import JitOptions, compile_expression
+from repro.core.multithread import division_supported
+from repro.gpusim import kernel_time
+
+TPIS = (1, 4, 8, 16, 32)
+
+PAPER_ANCHORS_MS = {
+    ("a+b", 4, 1): 3.67,
+    ("a+b", 4, 4): 3.67,
+    ("a+b", 32, 1): 49.67,
+    ("a+b", 32, 8): 23.67,
+    ("a*b", 32, 1): 45.00,
+    ("a*b", 32, 8): 23.33,
+}
+
+
+def schema_for(operation: str, length: int) -> Dict[str, DecimalSpec]:
+    """Operand specs so the result lands at ``length`` words."""
+    result_precision = PAPER_RESULT_PRECISIONS[length]
+    if operation == "a+b":
+        precision = result_precision - 1
+        return {"a": DecimalSpec(precision, 2), "b": DecimalSpec(precision, 2)}
+    if operation == "a*b":
+        half = result_precision // 2
+        return {
+            "a": DecimalSpec(half, 2),
+            "b": DecimalSpec(result_precision - half, 2),
+        }
+    # a/b: quotient (p1 - p2 + s2 + 5, s1 + 4) at the result precision.
+    divisor = DecimalSpec(9, 2)
+    dividend = DecimalSpec(result_precision + divisor.precision - divisor.scale - 5, 2)
+    return {"a": dividend, "b": divisor}
+
+
+def run(simulate_rows: int = 10_000_000, lengths=PAPER_LENS) -> Experiment:
+    headers = ["op", "LEN"] + [f"TPI={tpi} (ms)" for tpi in TPIS] + ["paper TPI=1 (ms)"]
+    table: List[List] = []
+    for operation, expression in (("a+b", "a + b"), ("a*b", "a * b"), ("a/b", "a / b")):
+        for length in lengths:
+            schema = schema_for(operation, length)
+            row: List = [operation, length]
+            for tpi in TPIS:
+                if operation == "a/b" and not division_supported(length, tpi):
+                    row.append(None)  # the paper's missing TPI=4/LEN=32 cell
+                    continue
+                compiled = compile_expression(expression, schema, JitOptions(tpi=tpi))
+                row.append(kernel_time(compiled.kernel, simulate_rows).seconds * 1e3)
+            row.append(PAPER_ANCHORS_MS.get((operation, length, 1)))
+            table.append(row)
+    return Experiment(
+        experiment_id="fig13",
+        title="Multi-threaded arithmetic: kernel time by TPI (10M tuples)",
+        headers=headers,
+        rows=table,
+        notes=[
+            "a/b at TPI=4, LEN=32 is absent: LEN/TPI <= TPI (CGBN restriction)",
+            "single-threaded division uses quotient-range binary search; "
+            "TPI>1 uses the Newton-Raphson path",
+        ],
+    )

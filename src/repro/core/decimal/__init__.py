@@ -1,0 +1,36 @@
+"""Arbitrary-precision fixed-point decimal substrate.
+
+Public surface of the decimal core:
+
+* :class:`~repro.core.decimal.context.DecimalSpec` -- the ``DECIMAL(p, s)``
+  type with its ``Lw`` (word) and ``Lb`` (compact byte) storage lengths;
+* :class:`~repro.core.decimal.value.DecimalValue` -- scalar signed values;
+* :class:`~repro.core.decimal.vectorized.DecimalVector` -- whole-column
+  arithmetic used by the simulated GPU kernels;
+* the word-limb algorithms (``words``, ``karatsuba``, ``division``) and the
+  precision-inference rules (``inference``) that the JIT engine applies.
+"""
+
+from repro.core.decimal.context import (
+    PAPER_LENS,
+    PAPER_RESULT_PRECISIONS,
+    DecimalSpec,
+    bytes_for_precision,
+    precision_for_words,
+    spec_for_len,
+    words_for_precision,
+)
+from repro.core.decimal.value import DecimalValue
+from repro.core.decimal.vectorized import DecimalVector
+
+__all__ = [
+    "DecimalSpec",
+    "DecimalValue",
+    "DecimalVector",
+    "PAPER_LENS",
+    "PAPER_RESULT_PRECISIONS",
+    "bytes_for_precision",
+    "precision_for_words",
+    "spec_for_len",
+    "words_for_precision",
+]

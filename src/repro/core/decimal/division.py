@@ -1,0 +1,255 @@
+"""Multi-word division algorithms.
+
+Section III-C2 of the paper uses a quotient-range + binary-search division in
+single-threaded kernels, with two fast paths (a native ``div`` when both
+operands fit in 64 bits, and word-by-word short division when the divisor is
+one word).  The multi-threaded path follows CGBN and uses Newton-Raphson;
+section II-B also sketches the Goldschmidt algorithm.  All four are
+implemented here and return exact floor quotients.
+
+Each routine also reports a :class:`DivisionStats` describing the work it
+did (iterations, multiplications), which the GPU simulator's timing model
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.decimal import words as w
+from repro.core.decimal.context import WORD_BASE, WORD_BITS, WORD_MASK
+from repro.errors import DivisionByZeroError
+
+
+@dataclass
+class DivisionStats:
+    """Work counters for one division, consumed by the timing model."""
+
+    algorithm: str = "binary_search"
+    iterations: int = 0
+    multiplications: int = 0
+    comparisons: int = 0
+    used_fast_path: bool = False
+
+
+def quotient_bit_range(dividend: Sequence[int], divisor: Sequence[int]) -> Tuple[int, int]:
+    """Inclusive bounds on the quotient from the operands' ``bfind`` results.
+
+    If the dividend's most significant set bit is ``la`` and the divisor's is
+    ``lb``, the quotient lies in ``[2**(d-1), 2**(d+1) - 1]`` where
+    ``d = la - lb`` (paper's ``1xxxxx / 1xxx`` example).  Returns ``(0, 0)``
+    when the dividend is smaller than the divisor.
+    """
+    la = w.bfind(dividend)
+    lb = w.bfind(divisor)
+    if lb < 0:
+        raise DivisionByZeroError("division by zero")
+    if la < lb:
+        return 0, 1
+    delta = la - lb
+    low = 1 << (delta - 1) if delta > 0 else 0
+    high = (1 << (delta + 1)) - 1
+    return low, high
+
+
+def binary_search_divmod(
+    dividend: Sequence[int], divisor: Sequence[int]
+) -> Tuple[List[int], List[int], DivisionStats]:
+    """The paper's single-threaded division: quotient range + binary search.
+
+    Searches the range from :func:`quotient_bit_range` for the ``q`` with
+    ``q * divisor <= dividend < (q+1) * divisor``.  Each probe is one
+    multi-word multiplication and one comparison.
+    """
+    stats = DivisionStats(algorithm="binary_search")
+    width = len(dividend)
+    lo, hi = quotient_bit_range(dividend, divisor)
+    q_width = max(1, width)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        stats.iterations += 1
+        stats.multiplications += 1
+        stats.comparisons += 1
+        probe = w.mul(w.from_int(mid, q_width), list(divisor))
+        if w.compare(probe, dividend) <= 0:
+            lo = mid
+        else:
+            hi = mid - 1
+    quotient = w.from_int(lo, q_width)
+    product = w.mul(quotient, list(divisor))
+    remainder, borrow = w.sub(dividend, product, width)
+    if borrow:
+        raise AssertionError("binary search produced an over-large quotient")
+    stats.multiplications += 1
+    return quotient, remainder, stats
+
+
+def short_divmod(
+    dividend: Sequence[int], divisor_word: int
+) -> Tuple[List[int], int, DivisionStats]:
+    """Fast path: one-word divisor, divide from most to least significant word.
+
+    Mirrors the paper's second fast path ("if the divisor is only a 32-bit
+    word, we divide the dividend from the most significant word to the least
+    with the ``div`` instruction").
+    """
+    if divisor_word == 0:
+        raise DivisionByZeroError("division by zero")
+    if not 0 < divisor_word < WORD_BASE:
+        raise ValueError("short_divmod requires a single-word divisor")
+    stats = DivisionStats(algorithm="short", used_fast_path=True)
+    quotient = w.zero(len(dividend))
+    remainder = 0
+    for i in range(len(dividend) - 1, -1, -1):
+        acc = (remainder << WORD_BITS) | (dividend[i] & WORD_MASK)
+        quotient[i] = (acc // divisor_word) & WORD_MASK
+        remainder = acc % divisor_word
+        stats.iterations += 1
+    return quotient, remainder, stats
+
+
+def native64_divmod(
+    dividend: Sequence[int], divisor: Sequence[int]
+) -> Tuple[List[int], List[int], DivisionStats]:
+    """Fast path: both operands fit in 64 bits -> a single ``div``.
+
+    Raises ``ValueError`` when an operand exceeds 64 bits so callers fall
+    back to the general algorithm, like the generated kernel's runtime test.
+    """
+    a = w.to_int(dividend)
+    b = w.to_int(divisor)
+    if a >= 1 << 64 or b >= 1 << 64:
+        raise ValueError("operands exceed 64 bits")
+    if b == 0:
+        raise DivisionByZeroError("division by zero")
+    stats = DivisionStats(algorithm="native64", iterations=1, used_fast_path=True)
+    width = len(dividend)
+    return w.from_int(a // b, width), w.from_int(a % b, width), stats
+
+
+def newton_raphson_divmod(
+    dividend: Sequence[int], divisor: Sequence[int]
+) -> Tuple[List[int], List[int], DivisionStats]:
+    """Newton-Raphson reciprocal division (the CGBN multi-threaded path).
+
+    Approximates ``1/d`` in fixed point by iterating
+    ``r[i+1] = r[i] * (2 - d * r[i])`` (section II-B), then corrects the
+    candidate quotient by at most a couple of steps to reach the exact floor.
+    """
+    stats = DivisionStats(algorithm="newton_raphson")
+    a = w.to_int(dividend)
+    d = w.to_int(divisor)
+    if d == 0:
+        raise DivisionByZeroError("division by zero")
+    width = len(dividend)
+    if a == 0:
+        return w.zero(width), w.zero(width), stats
+
+    # Fixed-point fraction bits: enough for the full quotient.
+    frac = max(a.bit_length(), d.bit_length()) + 2
+    one = 1 << frac
+    two = 2 << frac
+
+    # Initial estimate from the leading bits of d: r0 = 2**-ceil(log2 d),
+    # which lies in (0, 2/d) so the iteration converges quadratically.
+    shift = d.bit_length()
+    reciprocal = 1 << (frac - shift)
+
+    # Quadratic convergence: iterations ~= log2(frac).
+    for _ in range(frac.bit_length() + 2):
+        prev = reciprocal
+        reciprocal = (reciprocal * (two - ((d * reciprocal) >> frac))) >> frac
+        stats.iterations += 1
+        stats.multiplications += 2
+        if reciprocal == prev:
+            break
+
+    quotient = (a * reciprocal) >> frac
+    stats.multiplications += 1
+    quotient, corrections = _correct_quotient(a, d, quotient)
+    stats.comparisons += corrections + 1
+    stats.multiplications += corrections
+    return w.from_int(quotient, width), w.from_int(a - quotient * d, width), stats
+
+
+def goldschmidt_divmod(
+    dividend: Sequence[int], divisor: Sequence[int]
+) -> Tuple[List[int], List[int], DivisionStats]:
+    """Goldschmidt division: scale N and D by ``F = 2 - D`` until D -> 1.
+
+    Section II-B: ``D/d * F1/F1 * F2/F2 * ...``; once the scaled divisor
+    approximates 1, the scaled dividend approximates the quotient.
+    """
+    stats = DivisionStats(algorithm="goldschmidt")
+    a = w.to_int(dividend)
+    d = w.to_int(divisor)
+    if d == 0:
+        raise DivisionByZeroError("division by zero")
+    width = len(dividend)
+    if a == 0:
+        return w.zero(width), w.zero(width), stats
+
+    frac = max(a.bit_length(), d.bit_length()) + 4
+    one = 1 << frac
+    two = 2 << frac
+
+    # Normalise divisor into [0.5, 1) in fixed point; scale dividend alike.
+    shift = d.bit_length()
+    n_fp = (a << frac) >> shift
+    d_fp = (d << frac) >> shift
+
+    for _ in range(frac.bit_length() + 3):
+        factor = two - d_fp
+        n_fp = (n_fp * factor) >> frac
+        d_fp = (d_fp * factor) >> frac
+        stats.iterations += 1
+        stats.multiplications += 2
+        if d_fp >= one - 1:
+            break
+
+    quotient = n_fp >> frac
+    quotient, corrections = _correct_quotient(a, d, quotient)
+    stats.comparisons += corrections + 1
+    stats.multiplications += corrections
+    return w.from_int(quotient, width), w.from_int(a - quotient * d, width), stats
+
+
+def auto_divmod(
+    dividend: Sequence[int], divisor: Sequence[int]
+) -> Tuple[List[int], List[int], DivisionStats]:
+    """Dispatch exactly as the generated kernel does (section III-C2).
+
+    Try the 64-bit ``div`` fast path, then the one-word short division, and
+    fall back to binary search.
+    """
+    try:
+        return native64_divmod(dividend, divisor)
+    except ValueError:
+        pass
+    divisor_int = w.to_int(divisor)
+    if divisor_int < WORD_BASE:
+        quotient, remainder, stats = short_divmod(dividend, divisor_int)
+        return quotient, w.from_int(remainder, len(dividend)), stats
+    return binary_search_divmod(dividend, divisor)
+
+
+def _correct_quotient(a: int, d: int, q: int) -> Tuple[int, int]:
+    """Nudge an approximate quotient to the exact floor; returns (q, steps).
+
+    A converged Newton-Raphson/Goldschmidt estimate is within a few ulps of
+    the true quotient; if the estimate is further off than that (it should
+    never be), fall back to an exact division rather than walking.
+    """
+    steps = 0
+    max_steps = 8
+    q = max(q, 0)
+    while q * d > a and steps < max_steps:
+        q -= 1
+        steps += 1
+    while (q + 1) * d <= a and steps < max_steps:
+        q += 1
+        steps += 1
+    if q * d > a or (q + 1) * d <= a:
+        return a // d, steps
+    return q, steps

@@ -1,0 +1,172 @@
+"""Sub-quadratic multiplication algorithms (paper section II-B).
+
+The paper discusses the hierarchy of multi-word multiplication algorithms:
+the elementary schoolbook O(N^2) (what the kernels use -- fastest for the
+paper's operand sizes), Karatsuba O(N^1.585) (``karatsuba.py``), and the
+Schonhage-Strassen algorithm whose asymptotic complexity is lower still
+but "outperforms the latter only if N is sufficiently large".
+
+This module completes that hierarchy:
+
+* :func:`toom3` -- Toom-Cook 3-way splitting, O(N^1.465);
+* :func:`ntt_multiply` -- a number-theoretic-transform convolution (the
+  Schonhage-Strassen family), O(N log N) in the transform length.
+
+Both return exact products and exist so the break-even behaviour the paper
+describes is measurable (see ``benchmarks/bench_ext_multiplication.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.decimal import words as w
+from repro.core.decimal.context import WORD_BITS
+
+# ------------------------------------------------------------------ Toom-3
+
+#: Width below which Toom-3 recursion falls back to schoolbook.
+TOOM3_THRESHOLD = 12
+
+
+def toom3(a: Sequence[int], b: Sequence[int], threshold: int = TOOM3_THRESHOLD) -> List[int]:
+    """Multiply two little-endian word arrays via Toom-Cook 3.
+
+    Splits each operand into three limbs-of-limbs and evaluates the product
+    polynomial at the points {0, 1, -1, 2, inf}, then interpolates.  The
+    implementation works on Python ints per part (the parts are themselves
+    multi-word; recursion re-enters :func:`toom3` through the integer
+    split), returning ``len(a) + len(b)`` words.
+    """
+    if threshold < 3:
+        raise ValueError("threshold must be >= 3")
+    out_width = len(a) + len(b)
+    product = _toom3_int(w.to_int(a), w.to_int(b), max(len(a), len(b)), threshold)
+    return w.from_int(product, out_width)
+
+
+def _toom3_int(x: int, y: int, width_words: int, threshold: int) -> int:
+    # Evaluation points produce negative intermediates; normalise signs
+    # before splitting (Python's ``&`` on negatives is two's complement).
+    if x < 0 or y < 0:
+        sign = -1 if (x < 0) != (y < 0) else 1
+        return sign * _toom3_int(abs(x), abs(y), width_words, threshold)
+    if width_words <= threshold or x == 0 or y == 0:
+        return x * y  # schoolbook regime (delegated to the host integer)
+    # Split into three parts of `part` words each.
+    part = -(-width_words // 3)
+    shift = part * WORD_BITS
+    mask = (1 << shift) - 1
+
+    x0, x1, x2 = x & mask, (x >> shift) & mask, x >> (2 * shift)
+    y0, y1, y2 = y & mask, (y >> shift) & mask, y >> (2 * shift)
+
+    # Evaluate at 0, 1, -1, 2, infinity.
+    p0 = _toom3_int(x0, y0, part, threshold)
+    p1 = _toom3_int(x0 + x1 + x2, y0 + y1 + y2, part + 1, threshold)
+    pm1 = _toom3_int(x0 - x1 + x2, y0 - y1 + y2, part + 1, threshold)
+    p2 = _toom3_int(x0 + 2 * x1 + 4 * x2, y0 + 2 * y1 + 4 * y2, part + 1, threshold)
+    pinf = _toom3_int(x2, y2, part, threshold)
+
+    # Interpolate: p(t) = r0 + r1 t + r2 t^2 + r3 t^3 + r4 t^4 with
+    # p(0)=p0, p(1)=p1, p(-1)=pm1, p(2)=p2, p(inf)=pinf.
+    r0 = p0
+    r4 = pinf
+    even = (p1 + pm1) // 2  # r0 + r2 + r4
+    odd = (p1 - pm1) // 2  # r1 + r3
+    r2 = even - r0 - r4
+    s3 = (p2 - r0 - 4 * r2 - 16 * r4) // 2  # r1 + 4*r3
+    r3, remainder = divmod(s3 - odd, 3)
+    assert remainder == 0
+    r1 = odd - r3
+
+    return (
+        r0
+        + (r1 << shift)
+        + (r2 << (2 * shift))
+        + (r3 << (3 * shift))
+        + (r4 << (4 * shift))
+    )
+
+
+# -------------------------------------------------------------------- NTT
+
+#: NTT prime: p = 2^64 - 2^32 + 1 (the "Goldilocks" prime) supports
+#: power-of-two transforms up to length 2^32 with generator 7.
+NTT_PRIME = (1 << 64) - (1 << 32) + 1
+_NTT_GENERATOR = 7
+
+#: Coefficients are 16-bit chunks so length*chunk^2 stays far below p.
+_CHUNK_BITS = 16
+_CHUNK_MASK = (1 << _CHUNK_BITS) - 1
+
+
+def ntt_multiply(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Multiply word arrays via a number-theoretic transform convolution.
+
+    The Schonhage-Strassen family: split into 16-bit chunks, convolve in
+    GF(p) with a radix-2 NTT, carry-propagate.  Exact for any operand size
+    this library produces (the transform length bound is astronomically
+    far away).
+    """
+    out_width = len(a) + len(b)
+    chunks_a = _to_chunks(a)
+    chunks_b = _to_chunks(b)
+    if not chunks_a or not chunks_b:
+        return w.zero(out_width)
+    size = 1
+    while size < len(chunks_a) + len(chunks_b) - 1:
+        size *= 2
+    fa = chunks_a + [0] * (size - len(chunks_a))
+    fb = chunks_b + [0] * (size - len(chunks_b))
+
+    root = pow(_NTT_GENERATOR, (NTT_PRIME - 1) // size, NTT_PRIME)
+    _ntt(fa, root)
+    _ntt(fb, root)
+    pointwise = [(x * y) % NTT_PRIME for x, y in zip(fa, fb)]
+    inverse_root = pow(root, NTT_PRIME - 2, NTT_PRIME)
+    _ntt(pointwise, inverse_root)
+    inverse_size = pow(size, NTT_PRIME - 2, NTT_PRIME)
+    coefficients = [(value * inverse_size) % NTT_PRIME for value in pointwise]
+
+    # Carry-propagate 16-bit chunks into the product integer.
+    product = 0
+    for index in range(len(coefficients) - 1, -1, -1):
+        product = (product << _CHUNK_BITS) + coefficients[index]
+    return w.from_int(product, out_width)
+
+
+def _to_chunks(words_: Sequence[int]) -> List[int]:
+    value = w.to_int(words_)
+    chunks: List[int] = []
+    while value:
+        chunks.append(value & _CHUNK_MASK)
+        value >>= _CHUNK_BITS
+    return chunks
+
+
+def _ntt(values: List[int], root: int) -> None:
+    """In-place iterative radix-2 Cooley-Tukey NTT over GF(NTT_PRIME)."""
+    n = len(values)
+    # Bit-reversal permutation.
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            values[i], values[j] = values[j], values[i]
+    length = 2
+    while length <= n:
+        w_len = pow(root, n // length, NTT_PRIME)
+        for start in range(0, n, length):
+            twiddle = 1
+            for offset in range(length // 2):
+                even = values[start + offset]
+                odd = (values[start + offset + length // 2] * twiddle) % NTT_PRIME
+                values[start + offset] = (even + odd) % NTT_PRIME
+                values[start + offset + length // 2] = (even - odd) % NTT_PRIME
+                twiddle = (twiddle * w_len) % NTT_PRIME
+        length *= 2

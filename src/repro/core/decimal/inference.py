@@ -1,0 +1,120 @@
+"""Result precision/scale inference rules (paper section III-B3).
+
+The JIT engine infers the spec of every intermediate node bottom-up so that
+register arrays can be sized at compile time and never overflow:
+
+* addition/subtraction (``s1 >= s2``): ``(max(p1, p2 + s1 - s2) + 1, s1)``
+* multiplication: ``(p1 + p2, s1 + s2)``
+* division: dividend is pre-multiplied by ``10**(s2 + 4)``; the quotient is
+  ``(p1 - p2 + s2 + 5, s1 + 4)``
+* modulo: ``(p2, 0)`` (integer modulo only)
+* aggregates: MIN/MAX keep the input spec; SUM widens the precision by the
+  digit length of the tuple count; AVG follows SUM then the division rule
+  with the divisor ``DECIMAL(floor(log10 N) + 1, 0)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import TypeInferenceError
+
+
+def add_result(left: DecimalSpec, right: DecimalSpec) -> DecimalSpec:
+    """Spec of ``left + right`` (also ``left - right``)."""
+    if left.scale < right.scale:
+        left, right = right, left
+    precision = max(left.precision, right.precision + left.scale - right.scale) + 1
+    return DecimalSpec(precision, left.scale)
+
+
+def mul_result(left: DecimalSpec, right: DecimalSpec) -> DecimalSpec:
+    """Spec of ``left * right``."""
+    return DecimalSpec(left.precision + right.precision, left.scale + right.scale)
+
+
+#: Extra fractional digits every division result carries (section III-B3:
+#: "the result is guaranteed to have the scale of s1 + 4").
+DIVISION_EXTRA_SCALE = 4
+
+
+def div_result(dividend: DecimalSpec, divisor: DecimalSpec) -> DecimalSpec:
+    """Spec of ``dividend / divisor``.
+
+    The integer part of the quotient has at most
+    ``(p1 - s1) - (p2 - s2) + 1`` digits, so
+    ``DECIMAL(p1 - p2 + s2 + 5, s1 + 4)`` is overflow-free.  When the
+    formula's precision is smaller than its scale (tiny dividends), we widen
+    the precision to keep the spec valid; this is the "only 4 digits can
+    hardly protect the division from underflow" regime of Figure 15.
+    """
+    scale = dividend.scale + DIVISION_EXTRA_SCALE
+    precision = dividend.precision - divisor.precision + divisor.scale + DIVISION_EXTRA_SCALE + 1
+    return DecimalSpec(max(precision, scale + 1), scale)
+
+
+def div_prescale(divisor: DecimalSpec) -> int:
+    """Power of ten the dividend is multiplied by before dividing."""
+    return divisor.scale + DIVISION_EXTRA_SCALE
+
+
+def mod_result(dividend: DecimalSpec, divisor: DecimalSpec) -> DecimalSpec:
+    """Spec of ``dividend % divisor`` -- integer modulo only."""
+    if dividend.scale or divisor.scale:
+        raise TypeInferenceError(
+            "modulo supports only integer operands (scale 0); got "
+            f"{dividend} % {divisor}"
+        )
+    return DecimalSpec(divisor.precision, 0)
+
+
+def sum_result(input_spec: DecimalSpec, tuple_count: int) -> DecimalSpec:
+    """Spec of ``SUM(expr)`` over ``tuple_count`` tuples."""
+    if tuple_count < 1:
+        raise TypeInferenceError("SUM needs a positive tuple count")
+    extra = math.ceil(math.log10(tuple_count)) if tuple_count > 1 else 1
+    return DecimalSpec(input_spec.precision + max(extra, 1), input_spec.scale)
+
+
+def avg_result(input_spec: DecimalSpec, tuple_count: int) -> DecimalSpec:
+    """Spec of ``AVG(expr)``: SUM's spec divided by ``DECIMAL(len(N), 0)``."""
+    summed = sum_result(input_spec, tuple_count)
+    divisor = count_spec(tuple_count)
+    return div_result(summed, divisor)
+
+
+def count_spec(tuple_count: int) -> DecimalSpec:
+    """The divisor spec AVG uses: ``DECIMAL(floor(log10 N) + 1, 0)``."""
+    if tuple_count < 1:
+        raise TypeInferenceError("tuple count must be positive")
+    return DecimalSpec(int(math.log10(tuple_count)) + 1, 0)
+
+
+def minmax_result(input_spec: DecimalSpec) -> DecimalSpec:
+    """Spec of ``MIN``/``MAX``: unchanged."""
+    return input_spec
+
+
+def function_result(function: str, argument: DecimalSpec, scale_arg: int = 0) -> DecimalSpec:
+    """Result spec of a scalar function (ABS/SIGN/ROUND/TRUNC/CEIL/FLOOR)."""
+    if function == "ABS":
+        return argument
+    if function == "SIGN":
+        return DecimalSpec(1, 0)
+    if function in ("CEIL", "FLOOR"):
+        # May add one integer digit (CEIL(9.5) = 10).
+        return DecimalSpec(max(argument.integer_digits + 1, 1), 0)
+    if function == "POWER":
+        if scale_arg < 1:
+            raise TypeInferenceError("POWER's exponent must be >= 1")
+        return DecimalSpec(argument.precision * scale_arg, argument.scale * scale_arg)
+    if function in ("ROUND", "TRUNC"):
+        if scale_arg < 0:
+            raise TypeInferenceError(f"{function} scale must be non-negative")
+        delta = scale_arg - argument.scale
+        precision = argument.precision + delta
+        if function == "ROUND":
+            precision += 1  # rounding can carry into a new digit
+        return DecimalSpec(max(precision, scale_arg + 1, 1), scale_arg)
+    raise TypeInferenceError(f"unknown scalar function {function!r}")

@@ -1,0 +1,87 @@
+"""Rounding modes for DECIMAL rescaling and casts.
+
+The paper's kernels truncate (round toward zero) wherever a scale shrinks
+-- that is what the fixed-container division rule produces, and what this
+library's arithmetic does by default.  SQL ``CAST``/``ROUND`` surfaces need
+the other standard modes, so they live here as explicit operations rather
+than hidden arithmetic behaviour.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.value import DecimalValue
+from repro.errors import PrecisionOverflowError
+
+
+class Rounding(Enum):
+    """Supported rounding modes for scale reduction."""
+
+    DOWN = "down"  # toward zero (the kernels' native truncation)
+    HALF_UP = "half_up"  # ties away from zero (SQL ROUND)
+    HALF_EVEN = "half_even"  # banker's rounding (IEEE 754 default)
+    CEILING = "ceiling"  # toward +infinity
+    FLOOR = "floor"  # toward -infinity
+
+
+def round_unscaled(unscaled: int, drop_digits: int, mode: Rounding) -> int:
+    """Drop ``drop_digits`` decimal digits from a signed unscaled integer."""
+    if drop_digits < 0:
+        raise ValueError("drop_digits must be non-negative")
+    if drop_digits == 0:
+        return unscaled
+    base = 10**drop_digits
+    quotient, remainder = divmod(abs(unscaled), base)
+    negative = unscaled < 0
+
+    if mode is Rounding.DOWN:
+        bump = 0
+    elif mode is Rounding.HALF_UP:
+        bump = 1 if 2 * remainder >= base else 0
+    elif mode is Rounding.HALF_EVEN:
+        doubled = 2 * remainder
+        if doubled > base:
+            bump = 1
+        elif doubled < base:
+            bump = 0
+        else:
+            bump = quotient & 1  # tie: round to even
+    elif mode is Rounding.CEILING:
+        bump = 1 if remainder and not negative else 0
+    elif mode is Rounding.FLOOR:
+        bump = 1 if remainder and negative else 0
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown rounding mode {mode!r}")
+
+    magnitude = quotient + bump
+    return -magnitude if negative else magnitude
+
+
+def rescale(
+    value: DecimalValue, scale: int, mode: Rounding = Rounding.DOWN
+) -> DecimalValue:
+    """Rescale a value to ``scale`` with an explicit rounding mode."""
+    current = value.spec.scale
+    if scale >= current:
+        return value.rescale(scale)
+    unscaled = round_unscaled(value.unscaled, current - scale, mode)
+    spec = DecimalSpec(max(value.spec.precision - (current - scale), scale, 1), scale)
+    if not spec.fits(unscaled):
+        # Rounding up can add a digit (9.99 -> 10.0): widen by one.
+        spec = DecimalSpec(spec.precision + 1, scale)
+    return DecimalValue.from_unscaled(unscaled, spec)
+
+
+def cast(
+    value: DecimalValue, spec: DecimalSpec, mode: Rounding = Rounding.HALF_UP
+) -> DecimalValue:
+    """SQL-style ``CAST(value AS DECIMAL(p, s))``: rescale then range-check."""
+    rescaled = rescale(value, spec.scale, mode)
+    if not spec.fits(rescaled.unscaled):
+        raise PrecisionOverflowError(
+            f"{value} does not fit {spec} after rescaling to scale {spec.scale}"
+        )
+    return DecimalValue.from_unscaled(rescaled.unscaled, spec)

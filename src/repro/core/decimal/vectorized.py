@@ -1,0 +1,400 @@
+"""Vectorised decimal arithmetic over whole columns (the SIMT data plane).
+
+On the real GPU every tuple is handled by a thread (or a TPI thread group)
+executing the same generated kernel.  In this reproduction the data plane of
+a kernel is a set of numpy operations applied to ``(N, Lw)`` uint32 word
+matrices -- each numpy lane corresponds to one GPU thread, and the limb
+loops below are exactly the per-thread carry chains of Listing 2, executed
+for all tuples at once.
+
+The cost/time of a kernel is *not* measured here; the GPU simulator derives
+it from instruction counts (see ``repro.gpusim``).  This module only
+guarantees bit-exact results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.decimal import compact, inference
+from repro.core.decimal import words as w
+from repro.core.decimal.context import WORD_BITS, WORD_MASK, DecimalSpec
+from repro.errors import DivisionByZeroError, PrecisionOverflowError
+
+_MASK64 = np.uint64(WORD_MASK)
+_SHIFT64 = np.uint64(WORD_BITS)
+
+
+@dataclass
+class DecimalVector:
+    """A column of ``DECIMAL(p, s)`` values in register (expanded) form."""
+
+    spec: DecimalSpec
+    negative: np.ndarray  # (N,) bool
+    words: np.ndarray  # (N, Lw) uint32
+
+    # ---------------------------------------------------------------- create
+
+    @classmethod
+    def from_unscaled(cls, values: Iterable[int], spec: DecimalSpec) -> "DecimalVector":
+        """Build from signed unscaled Python ints."""
+        values = list(values)
+        rows = len(values)
+        negative = np.zeros(rows, dtype=bool)
+        words = np.zeros((rows, spec.words), dtype=np.uint32)
+        for row, value in enumerate(values):
+            if not spec.fits(value):
+                raise PrecisionOverflowError(f"{value} does not fit {spec}")
+            negative[row] = value < 0
+            magnitude = abs(value)
+            for limb in range(spec.words):
+                words[row, limb] = magnitude & WORD_MASK
+                magnitude >>= WORD_BITS
+        return cls(spec, negative, words)
+
+    @classmethod
+    def from_unscaled_container(cls, values: Iterable[int], spec: DecimalSpec) -> "DecimalVector":
+        """Build from signed unscaled ints, wrapping into the register array.
+
+        The section III-B3 division rule sizes the quotient container
+        assuming divisors use all their integer digits; when data violates
+        that assumption a real generated kernel's fixed ``Lw``-word array
+        silently truncates (mod ``2**(32*Lw)``).  This constructor mirrors
+        that hardware behaviour.
+        """
+        values = list(values)
+        container = 1 << (WORD_BITS * spec.words)
+        wrapped = [abs(v) % container * (-1 if v < 0 else 1) for v in values]
+        rows = len(wrapped)
+        negative = np.zeros(rows, dtype=bool)
+        words = np.zeros((rows, spec.words), dtype=np.uint32)
+        for row, value in enumerate(wrapped):
+            negative[row] = value < 0
+            magnitude = abs(value)
+            for limb in range(spec.words):
+                words[row, limb] = magnitude & WORD_MASK
+                magnitude >>= WORD_BITS
+        return cls(spec, negative, words)
+
+    @classmethod
+    def from_compact(cls, data: np.ndarray, spec: DecimalSpec) -> "DecimalVector":
+        """Expand a compact ``(N, Lb)`` uint8 column (the kernel load phase)."""
+        negative, words = compact.unpack_column(data, spec)
+        return cls(spec, negative, words)
+
+    @classmethod
+    def zeros(cls, rows: int, spec: DecimalSpec) -> "DecimalVector":
+        """A column of zeros."""
+        return cls(spec, np.zeros(rows, bool), np.zeros((rows, spec.words), np.uint32))
+
+    @classmethod
+    def broadcast(cls, negative: bool, limbs: Sequence[int], spec: DecimalSpec, rows: int) -> "DecimalVector":
+        """Replicate one register value across a column (JIT constants)."""
+        words = np.tile(np.asarray(limbs, dtype=np.uint32), (rows, 1))
+        return cls(spec, np.full(rows, bool(negative)), words)
+
+    # --------------------------------------------------------------- inspect
+
+    @property
+    def rows(self) -> int:
+        """Number of tuples in the column."""
+        return self.words.shape[0]
+
+    def to_unscaled(self) -> List[int]:
+        """Signed unscaled Python ints (the verification oracle interface)."""
+        magnitudes = [0] * self.rows
+        for limb in range(self.spec.words - 1, -1, -1):
+            column = self.words[:, limb].tolist()
+            for row in range(self.rows):
+                magnitudes[row] = (magnitudes[row] << WORD_BITS) | column[row]
+        signs = self.negative.tolist()
+        return [-m if neg and m else m for m, neg in zip(magnitudes, signs)]
+
+    def to_compact(self) -> np.ndarray:
+        """Pack to the compact ``(N, Lb)`` form (the kernel store phase)."""
+        return compact.pack_column(self.negative, self.words, self.spec)
+
+    def copy(self) -> "DecimalVector":
+        """Deep copy."""
+        return DecimalVector(self.spec, self.negative.copy(), self.words.copy())
+
+    # --------------------------------------------------------------- rescale
+
+    def rescale(self, scale: int) -> "DecimalVector":
+        """Align every value to ``scale`` (x10^k upward, truncate downward)."""
+        if scale == self.spec.scale:
+            return self
+        if scale > self.spec.scale:
+            extra = scale - self.spec.scale
+            spec = DecimalSpec(self.spec.precision + extra, scale)
+            words = _mul_pow10(self.words, extra, spec.words)
+            return DecimalVector(spec, self.negative.copy(), words)
+        # Downward alignment divides by a power of ten (rare: AVG results).
+        drop = self.spec.scale - scale
+        spec = DecimalSpec(max(self.spec.precision - drop, 1), scale)
+        unscaled = [value // 10**drop if value >= 0 else -((-value) // 10**drop) for value in self.to_unscaled()]
+        return DecimalVector.from_unscaled(unscaled, spec)
+
+    def with_spec(self, spec: DecimalSpec) -> "DecimalVector":
+        """Re-declare at ``spec`` (pads/truncates the word matrix)."""
+        rescaled = self.rescale(spec.scale)
+        words = np.zeros((self.rows, spec.words), dtype=np.uint32)
+        shared = min(spec.words, rescaled.words.shape[1])
+        if np.any(rescaled.words[:, shared:]):
+            raise PrecisionOverflowError(f"values do not fit {spec}")
+        words[:, :shared] = rescaled.words[:, :shared]
+        return DecimalVector(spec, rescaled.negative.copy(), words)
+
+
+# ------------------------------------------------------------------ kernels
+
+
+def add(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Columnwise signed addition with scale alignment."""
+    return _signed_add(a, b, negate_b=False)
+
+
+def sub(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Columnwise signed subtraction."""
+    return _signed_add(a, b, negate_b=True)
+
+
+def neg(a: DecimalVector) -> DecimalVector:
+    """Columnwise negation."""
+    nonzero = a.words.any(axis=1)
+    return DecimalVector(a.spec, np.where(nonzero, ~a.negative, False), a.words.copy())
+
+
+def mul(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Columnwise signed multiplication (schoolbook limb products)."""
+    spec = inference.mul_result(a.spec, b.spec)
+    product = _mul_magnitudes(a.words, b.words, spec.words)
+    nonzero = product.any(axis=1)
+    negative = (a.negative != b.negative) & nonzero
+    return DecimalVector(spec, negative, product)
+
+
+def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Columnwise signed division following the section III-B3 rules.
+
+    The per-row quotients are computed exactly (dividend pre-scaled by
+    ``10**(s2+4)``, truncating divide).  The scalar division *algorithms*
+    (binary search / Newton-Raphson / Goldschmidt) live in
+    ``repro.core.decimal.division`` and are what the timing model charges
+    for; the data plane here uses the mathematically identical big-integer
+    route so that wide columns stay tractable in pure Python.
+    """
+    spec = inference.div_result(a.spec, b.spec)
+    prescale = inference.div_prescale(b.spec)
+    factor = 10**prescale
+    dividends = a.to_unscaled()
+    divisors = b.to_unscaled()
+    quotients = []
+    for dividend, divisor in zip(dividends, divisors):
+        if divisor == 0:
+            raise DivisionByZeroError("decimal division by zero")
+        scaled = abs(dividend) * factor
+        quotient = scaled // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            quotient = -quotient
+        quotients.append(quotient)
+    return DecimalVector.from_unscaled_container(quotients, spec)
+
+
+def mod(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Columnwise integer modulo (sign follows the dividend, as in C)."""
+    spec = inference.mod_result(a.spec, b.spec)
+    remainders = []
+    for dividend, divisor in zip(a.to_unscaled(), b.to_unscaled()):
+        if divisor == 0:
+            raise DivisionByZeroError("decimal modulo by zero")
+        remainder = abs(dividend) % abs(divisor)
+        remainders.append(-remainder if dividend < 0 else remainder)
+    return DecimalVector.from_unscaled(remainders, spec)
+
+
+def absolute(a: DecimalVector) -> DecimalVector:
+    """Columnwise absolute value (clears the sign plane)."""
+    return DecimalVector(a.spec, np.zeros(a.rows, dtype=bool), a.words.copy())
+
+
+def sign(a: DecimalVector) -> DecimalVector:
+    """Columnwise three-way sign as DECIMAL(1, 0)."""
+    nonzero = a.words.any(axis=1)
+    values = np.where(nonzero, np.where(a.negative, -1, 1), 0)
+    return DecimalVector.from_unscaled([int(v) for v in values], DecimalSpec(1, 0))
+
+
+def rescale_with_mode(a: DecimalVector, spec: DecimalSpec, mode: str) -> DecimalVector:
+    """Columnwise ROUND/TRUNC/CEIL/FLOOR to ``spec.scale``.
+
+    Rounding modes follow ``repro.core.decimal.rounding``: ``round`` is
+    half-up (SQL ROUND), ``trunc`` toward zero, ``ceil``/``floor`` toward
+    +/- infinity.
+    """
+    from repro.core.decimal.rounding import Rounding, round_unscaled
+
+    modes = {
+        "trunc": Rounding.DOWN,
+        "round": Rounding.HALF_UP,
+        "ceil": Rounding.CEILING,
+        "floor": Rounding.FLOOR,
+    }
+    try:
+        rounding = modes[mode]
+    except KeyError:
+        raise ValueError(f"unknown rescale mode {mode!r}") from None
+    drop = a.spec.scale - spec.scale
+    if drop < 0:
+        return a.rescale(spec.scale).with_spec(spec)
+    values = [round_unscaled(u, drop, rounding) for u in a.to_unscaled()]
+    return DecimalVector.from_unscaled_container(values, spec)
+
+
+def compare(a: DecimalVector, b: DecimalVector) -> np.ndarray:
+    """Signed three-way compare per row: int8 array of -1/0/1."""
+    scale = max(a.spec.scale, b.spec.scale)
+    a_aligned, b_aligned = a.rescale(scale), b.rescale(scale)
+    width = max(a_aligned.words.shape[1], b_aligned.words.shape[1])
+    mag = _compare_magnitudes(_pad(a_aligned.words, width), _pad(b_aligned.words, width))
+    sign_a = np.where(a_aligned.negative, -1, 1).astype(np.int8)
+    sign_b = np.where(b_aligned.negative, -1, 1).astype(np.int8)
+    a_zero = ~a_aligned.words.any(axis=1)
+    b_zero = ~b_aligned.words.any(axis=1)
+    sign_a[a_zero] = 0
+    sign_b[b_zero] = 0
+    out = np.sign(sign_a - sign_b).astype(np.int8)
+    same_sign = (sign_a == sign_b) & (sign_a != 0)
+    flip = np.where(sign_a < 0, -1, 1).astype(np.int8)
+    out[same_sign] = (mag[same_sign] * flip[same_sign]).astype(np.int8)
+    return out
+
+
+# -------------------------------------------------------------- limb planes
+
+
+def _pad(words: np.ndarray, width: int) -> np.ndarray:
+    if words.shape[1] >= width:
+        return words
+    padded = np.zeros((words.shape[0], width), dtype=np.uint32)
+    padded[:, : words.shape[1]] = words
+    return padded
+
+
+def _add_magnitudes(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """The vector analogue of the ``add.cc``/``addc`` chain."""
+    a = _pad(a, width)
+    b = _pad(b, width)
+    out = np.zeros((a.shape[0], width), dtype=np.uint32)
+    carry = np.zeros(a.shape[0], dtype=np.uint64)
+    for limb in range(width):
+        total = a[:, limb].astype(np.uint64) + b[:, limb].astype(np.uint64) + carry
+        out[:, limb] = (total & _MASK64).astype(np.uint32)
+        carry = total >> _SHIFT64
+    if carry.any():
+        raise PrecisionOverflowError("vector addition overflowed the register array")
+    return out
+
+def _sub_magnitudes(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """``sub.cc``/``subc`` chain; assumes ``a >= b`` rowwise."""
+    a = _pad(a, width)
+    b = _pad(b, width)
+    out = np.zeros((a.shape[0], width), dtype=np.uint32)
+    borrow = np.zeros(a.shape[0], dtype=np.int64)
+    for limb in range(width):
+        total = a[:, limb].astype(np.int64) - b[:, limb].astype(np.int64) - borrow
+        out[:, limb] = (total & np.int64(WORD_MASK)).astype(np.uint32)
+        borrow = (total < 0).astype(np.int64)
+    if borrow.any():
+        raise AssertionError("subtraction underflow: operands were not ordered")
+    return out
+
+
+def _compare_magnitudes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Rowwise magnitude compare, most significant limb first."""
+    rows = a.shape[0]
+    out = np.zeros(rows, dtype=np.int8)
+    for limb in range(a.shape[1] - 1, -1, -1):
+        unresolved = out == 0
+        if not unresolved.any():
+            break
+        wa = a[:, limb]
+        wb = b[:, limb]
+        out[unresolved & (wa > wb)] = 1
+        out[unresolved & (wa < wb)] = -1
+    return out
+
+
+def _mul_magnitudes(a: np.ndarray, b: np.ndarray, out_width: int) -> np.ndarray:
+    """Schoolbook limb products with split lo/hi accumulation.
+
+    Partial products ``a[:,i] * b[:,j]`` land in output column ``i+j``; the
+    64-bit products are split into 32-bit halves so a uint64 accumulator can
+    absorb up to 2**32 terms without overflow (we have at most 32).
+    """
+    rows = a.shape[0]
+    wa, wb = a.shape[1], b.shape[1]
+    acc = np.zeros((rows, max(wa + wb + 1, out_width)), dtype=np.uint64)
+    for i in range(wa):
+        ai = a[:, i].astype(np.uint64)
+        if not ai.any():
+            continue
+        for j in range(wb):
+            product = ai * b[:, j].astype(np.uint64)
+            acc[:, i + j] += product & _MASK64
+            acc[:, i + j + 1] += product >> _SHIFT64
+    # Carry propagation pass.
+    for limb in range(acc.shape[1] - 1):
+        acc[:, limb + 1] += acc[:, limb] >> _SHIFT64
+        acc[:, limb] &= _MASK64
+    if np.any(acc[:, out_width:]):
+        raise PrecisionOverflowError("vector multiplication overflowed the register array")
+    return acc[:, :out_width].astype(np.uint32)
+
+
+def _mul_pow10(words: np.ndarray, exponent: int, out_width: int) -> np.ndarray:
+    """Alignment multiply: ``words * 10**exponent`` into ``out_width`` limbs."""
+    if exponent == 0:
+        return _pad(words, out_width).copy()
+    factor = 10**exponent
+    factor_words = np.asarray(
+        w.from_int(factor, w.pow10_words_needed(exponent)), dtype=np.uint32
+    )
+    broadcast = np.tile(factor_words, (words.shape[0], 1))
+    return _mul_magnitudes(words, broadcast, out_width)
+
+
+def _signed_add(a: DecimalVector, b: DecimalVector, negate_b: bool) -> DecimalVector:
+    """Signed add/sub with alignment, the full section II-B procedure."""
+    spec = inference.add_result(a.spec, b.spec)
+    a_aligned = a.rescale(spec.scale)
+    b_aligned = b.rescale(spec.scale)
+    width = spec.words
+    wa = _pad(a_aligned.words, width)
+    wb = _pad(b_aligned.words, width)
+    sign_a = a_aligned.negative
+    sign_b = ~b_aligned.negative if negate_b else b_aligned.negative
+
+    same = sign_a == sign_b
+    out = np.zeros((a.rows, width), dtype=np.uint32)
+    negative = np.zeros(a.rows, dtype=bool)
+
+    if same.any():
+        summed = _add_magnitudes(wa[same], wb[same], width)
+        out[same] = summed
+        negative[same] = sign_a[same]
+    diff = ~same
+    if diff.any():
+        order = _compare_magnitudes(wa[diff], wb[diff])
+        big_is_a = order >= 0
+        big = np.where(big_is_a[:, None], wa[diff], wb[diff])
+        small = np.where(big_is_a[:, None], wb[diff], wa[diff])
+        out[diff] = _sub_magnitudes(big, small, width)
+        negative[diff] = np.where(big_is_a, sign_a[diff], sign_b[diff])
+
+    nonzero = out.any(axis=1)
+    negative &= nonzero
+    return DecimalVector(spec, negative, out)

@@ -1,0 +1,34 @@
+"""JIT compilation engine for DECIMAL expressions (paper section III).
+
+Public surface: :func:`~repro.core.jit.pipeline.compile_expression` runs the
+full parse -> infer -> optimise -> codegen pipeline, returning a
+:class:`~repro.core.jit.ir.KernelIR` that the GPU simulator executes.
+"""
+
+from repro.core.jit.expr_ast import BinaryOp, ColumnRef, Expr, Literal, NaryAdd, NaryMul, UnaryOp
+from repro.core.jit.ir import KernelIR
+from repro.core.jit.parser import parse_expression
+from repro.core.jit.pipeline import (
+    CompiledExpression,
+    JitOptions,
+    KernelCache,
+    compile_expression,
+    optimize,
+)
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "CompiledExpression",
+    "Expr",
+    "JitOptions",
+    "KernelCache",
+    "KernelIR",
+    "Literal",
+    "NaryAdd",
+    "NaryMul",
+    "UnaryOp",
+    "compile_expression",
+    "optimize",
+    "parse_expression",
+]

@@ -1,0 +1,83 @@
+"""Alignment scheduling (paper section III-D1, Figure 6).
+
+Two DECIMAL operands with different scales must be aligned (a ``x10^k``
+multiplication) before addition.  For an n-ary sum, ordering the terms by
+ascending effective scale minimises how many alignments the left-deep
+evaluation performs: the running sum only re-aligns when it first meets a
+larger scale.
+
+``a + b + a`` with ``b`` at a large scale costs 2 alignments unscheduled
+but only 1 once ``b`` is moved to the end -- exactly the paper's Figure 10
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.jit.expr_ast import BinaryOp, Expr, FuncCall, NaryAdd, NaryMul, UnaryOp
+
+
+def schedule(expr: Expr) -> Expr:
+    """Reorder every n-ary addition's terms by ascending effective scale.
+
+    The sort is stable so equal-scale terms keep their original order
+    (important for reproducibility of generated code).  Children are
+    scheduled first so nested sums are already in canonical form.
+    """
+    if isinstance(expr, NaryAdd):
+        terms = [schedule(term) for term in expr.terms]
+        terms.sort(key=lambda term: term.effective_scale)
+        return _with_spec(NaryAdd(terms), expr)
+    if isinstance(expr, NaryMul):
+        return _with_spec(NaryMul([schedule(factor) for factor in expr.factors]), expr)
+    if isinstance(expr, UnaryOp):
+        return _with_spec(UnaryOp(expr.op, schedule(expr.operand)), expr)
+    if isinstance(expr, BinaryOp):
+        return _with_spec(BinaryOp(expr.op, schedule(expr.left), schedule(expr.right)), expr)
+    if isinstance(expr, FuncCall):
+        return _with_spec(
+            FuncCall(expr.function, schedule(expr.argument), expr.scale_arg), expr
+        )
+    return expr
+
+
+def _with_spec(new: Expr, old: Expr) -> Expr:
+    new.spec = old.spec
+    return new
+
+
+def count_alignments(expr: Expr) -> int:
+    """Alignment operations a left-deep evaluation of the tree performs.
+
+    Within an n-ary sum the running scale starts at the first term's scale;
+    each subsequent term triggers one alignment when its scale differs from
+    the running scale (whichever side aligns, it is one multiplication).
+    The running scale becomes the max of the two.
+    """
+    total = 0
+    if isinstance(expr, NaryAdd):
+        running = expr.terms[0].effective_scale
+        for term in expr.terms[1:]:
+            scale = term.effective_scale
+            if scale != running:
+                total += 1
+                running = max(running, scale)
+        total += sum(count_alignments(term) for term in expr.terms)
+        return total
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("+", "-") and expr.left.effective_scale != expr.right.effective_scale:
+            total += 1
+        return total + count_alignments(expr.left) + count_alignments(expr.right)
+    if isinstance(expr, (NaryMul,)):
+        return sum(count_alignments(factor) for factor in expr.factors)
+    if isinstance(expr, UnaryOp):
+        return count_alignments(expr.operand)
+    if isinstance(expr, FuncCall):
+        return count_alignments(expr.argument)
+    return 0
+
+
+def scale_order(expr: NaryAdd) -> List[int]:
+    """The effective scales of an n-ary sum's terms, in order (for tests)."""
+    return [term.effective_scale for term in expr.terms]

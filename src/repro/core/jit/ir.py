@@ -1,0 +1,186 @@
+"""Kernel intermediate representation emitted by the JIT code generator.
+
+A generated GPU kernel (Listing 1 of the paper) does three things per tuple:
+expand compact operands into word-aligned register arrays, evaluate the
+expression with fixed-width multi-word arithmetic, and write the result back
+in compact form.  The IR below captures exactly those steps; the GPU
+simulator both *executes* the instructions (producing bit-exact results via
+``repro.core.decimal.vectorized``) and *costs* them (mapping each to PTX
+instruction counts and memory traffic).
+
+Registers are virtual: ``dst``/``src`` are integer ids, and each register
+holds a sign plus an ``Lw``-word array whose width comes from the
+instruction's ``spec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decimal.context import DecimalSpec
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for kernel IR instructions."""
+
+    dst: int
+    spec: DecimalSpec
+
+
+@dataclass(frozen=True)
+class LoadColumn(Instruction):
+    """Read a compact column value and expand it to register form."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class LoadConst(Instruction):
+    """Materialise a DECIMAL constant.
+
+    With constant construction enabled (section III-D2) the conversion from
+    the literal text happens at compile time and this costs nothing at
+    runtime; with it disabled, ``runtime_convert`` marks that every tuple
+    pays the string/int -> DECIMAL conversion (the Figure 11 baseline).
+    """
+
+    negative: bool
+    unscaled: int
+    runtime_convert: bool = False
+
+
+@dataclass(frozen=True)
+class Align(Instruction):
+    """Scale-alignment multiply: ``dst = src * 10**exponent``."""
+
+    src: int
+    exponent: int
+
+
+@dataclass(frozen=True)
+class AddOp(Instruction):
+    """Signed addition of two aligned registers (add.cc/addc chain)."""
+
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class SubOp(Instruction):
+    """Signed subtraction of two aligned registers."""
+
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class NegOp(Instruction):
+    """Sign flip."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class MulOp(Instruction):
+    """Multi-word multiplication (schoolbook mad chain)."""
+
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class DivOp(Instruction):
+    """Division with dividend prescale (section III-B3 / III-C2)."""
+
+    a: int
+    b: int
+    prescale: int
+
+
+@dataclass(frozen=True)
+class ModOp(Instruction):
+    """Integer modulo."""
+
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class AbsOp(Instruction):
+    """Magnitude copy (clears the sign byte)."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class SignOp(Instruction):
+    """Three-way sign: -1, 0 or 1 as DECIMAL(1, 0)."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class RescaleOp(Instruction):
+    """Scale change with an explicit rounding mode (ROUND/TRUNC/CEIL/FLOOR).
+
+    ``mode`` is one of ``trunc``, ``round`` (half-up), ``ceil``, ``floor``;
+    the target scale is ``spec.scale``.
+    """
+
+    src: int
+    mode: str
+
+
+@dataclass(frozen=True)
+class StoreResult(Instruction):
+    """Pack a register back to the compact output column."""
+
+    src: int
+
+
+@dataclass
+class KernelIR:
+    """A compiled expression kernel.
+
+    ``instructions`` evaluate one expression; ``input_columns`` maps the
+    referenced column names to their specs; ``result_spec`` is the inferred
+    output.  ``register_words`` is the peak number of 32-bit value words
+    live at once per thread, which drives the occupancy model.
+    """
+
+    name: str
+    expression_sql: str
+    instructions: List[Instruction]
+    input_columns: Dict[str, DecimalSpec]
+    result_spec: DecimalSpec
+    register_words: int
+    source: str = ""
+    tpi: int = 1
+
+    @property
+    def bytes_read_per_tuple(self) -> int:
+        """Compact input bytes each tuple loads from global memory."""
+        return sum(
+            instruction.spec.compact_bytes
+            for instruction in self.instructions
+            if isinstance(instruction, LoadColumn)
+        )
+
+    @property
+    def bytes_written_per_tuple(self) -> int:
+        """Compact output bytes each tuple stores."""
+        return sum(
+            instruction.spec.compact_bytes
+            for instruction in self.instructions
+            if isinstance(instruction, StoreResult)
+        )
+
+    def count(self, kind) -> int:
+        """Number of IR instructions of a given type."""
+        return sum(1 for instruction in self.instructions if isinstance(instruction, kind))
+
+    def alignment_ops(self) -> int:
+        """Runtime alignment multiplications per tuple (Figure 10's metric)."""
+        return self.count(Align)

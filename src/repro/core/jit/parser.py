@@ -1,0 +1,160 @@
+"""A precedence-climbing parser for DECIMAL arithmetic expressions.
+
+Grammar (standard arithmetic):
+
+    expr    := term (('+' | '-') term)*
+    term    := unary (('*' | '/' | '%') unary)*
+    unary   := ('+' | '-') unary | primary
+    primary := NUMBER | IDENT | '(' expr ')'
+
+Identifiers name DECIMAL columns; numbers become exact literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.core.jit.expr_ast import (
+    SCALAR_FUNCTIONS,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    UnaryOp,
+)
+from repro.errors import ParseError
+
+
+class Token(NamedTuple):
+    kind: str  # 'number' | 'ident' | 'op' | 'lparen' | 'rparen'
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*|\.\d+|\d+)|(?P<ident>[A-Za-z_][A-Za-z_0-9.]*)"
+    r"|(?P<op>[-+*/%])|(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,))"
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split expression text into tokens; raises ParseError on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character at {position}: {remainder[0]!r}")
+        for kind in ("number", "ident", "op", "lparen", "rparen", "comma"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(Token(kind, value, match.start(kind)))
+                break
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ParseError(f"trailing input at {token.position}: {token.text!r}")
+        return expr
+
+    def _peek(self) -> Optional[Token]:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of expression: {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expr(self) -> Expr:
+        node = self._term()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in "+-":
+                self._advance()
+                node = BinaryOp(token.text, node, self._term())
+            else:
+                return node
+
+    def _term(self) -> Expr:
+        node = self._unary()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in "*/%":
+                self._advance()
+                node = BinaryOp(token.text, node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token and token.kind == "op" and token.text in "+-":
+            self._advance()
+            return UnaryOp(token.text, self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._advance()
+        if token.kind == "number":
+            return Literal.from_text(token.text)
+        if token.kind == "ident":
+            upper = token.text.upper()
+            next_token = self._peek()
+            if upper in SCALAR_FUNCTIONS and next_token and next_token.kind == "lparen":
+                return self._function_call(upper)
+            return ColumnRef(token.text)
+        if token.kind == "lparen":
+            node = self._expr()
+            closing = self._advance()
+            if closing.kind != "rparen":
+                raise ParseError(f"expected ')' at {closing.position}, got {closing.text!r}")
+            return node
+        raise ParseError(f"unexpected token at {token.position}: {token.text!r}")
+
+    def _function_call(self, function: str) -> Expr:
+        self._advance()  # consume '('
+        argument = self._expr()
+        scale_arg = 0
+        token = self._peek()
+        if token and token.kind == "comma":
+            if function not in ("ROUND", "TRUNC", "POWER"):
+                raise ParseError(f"{function} takes exactly one argument")
+            self._advance()
+            number = self._advance()
+            if number.kind != "number" or "." in number.text:
+                raise ParseError(
+                    f"{function}'s second argument must be an integer scale, "
+                    f"got {number.text!r}"
+                )
+            scale_arg = int(number.text)
+        closing = self._advance()
+        if closing.kind != "rparen":
+            raise ParseError(f"expected ')' after {function} arguments, got {closing.text!r}")
+        if function == "POWER":
+            if scale_arg < 1 or scale_arg > 64:
+                raise ParseError("POWER's exponent must be an integer in [1, 64]")
+        return FuncCall(function, argument, scale_arg)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse arithmetic text like ``"c1 + c2 * 1.5"`` into an expression tree."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    return _Parser(tokens, text).parse()

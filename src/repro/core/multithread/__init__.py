@@ -1,0 +1,31 @@
+"""Multi-threaded (CGBN-style) DECIMAL arithmetic and aggregation.
+
+Section III-E of the paper: thread groups of TPI threads cooperate on one
+decimal instance (``cgbn``), load compact values with the Listing-3 plan
+(``tpi``), and aggregate columns in shared-memory passes (``aggregation``).
+"""
+
+from repro.core.multithread.aggregation import AggregationRun, BlockPlan, aggregate
+from repro.core.multithread.cgbn import GroupStats, GroupValue
+from repro.core.multithread.tpi import (
+    SUPPORTED_TPI,
+    LoadPlan,
+    check_division_restriction,
+    division_supported,
+    plan_load,
+    render_load_code,
+)
+
+__all__ = [
+    "AggregationRun",
+    "BlockPlan",
+    "GroupStats",
+    "GroupValue",
+    "LoadPlan",
+    "SUPPORTED_TPI",
+    "aggregate",
+    "check_division_restriction",
+    "division_supported",
+    "plan_load",
+    "render_load_code",
+]

@@ -1,0 +1,272 @@
+"""CGBN-style thread-group big-number arithmetic (paper section III-E1).
+
+The paper extends NVIDIA's Cooperative Groups Big Numbers library to signed
+DECIMAL operands: a group of TPI threads holds one value's limbs split
+across the group, adds/subtracts with carries crossing thread boundaries,
+broadcasts operand words for multiplication, and uses the Newton-Raphson
+reciprocal for division.
+
+This module simulates one thread group functionally: limbs live in
+per-thread slices, the algorithms operate slice-by-slice, and every
+inter-thread exchange is counted in :class:`GroupStats` so tests can verify
+the communication pattern (e.g. neighbouring-data loads minimise carry
+traffic) and the timing model stays honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.decimal import words as w
+from repro.core.decimal.context import WORD_BITS, WORD_MASK, DecimalSpec
+from repro.core.decimal.division import newton_raphson_divmod
+from repro.core.multithread.tpi import SUPPORTED_TPI, check_division_restriction
+from repro.errors import DivisionByZeroError, TpiRestrictionError
+
+
+@dataclass
+class GroupStats:
+    """Work/communication counters for one group operation."""
+
+    shuffles: int = 0  # inter-thread word exchanges (shfl.sync)
+    ballots: int = 0  # group-wide predicate votes (carry resolution)
+    broadcasts: int = 0  # one-to-all word broadcasts
+
+
+@dataclass
+class GroupValue:
+    """A signed multi-word value distributed across a TPI thread group.
+
+    ``lanes[t]`` is the limb slice owned by thread ``t``; slices are
+    contiguous ("we direct a thread to read neighboring data to minimize
+    this overhead").
+    """
+
+    spec: DecimalSpec
+    tpi: int
+    negative: bool
+    lanes: List[List[int]]
+
+    @classmethod
+    def distribute(cls, negative: bool, words_: List[int], spec: DecimalSpec, tpi: int) -> "GroupValue":
+        """Split a word array across a thread group."""
+        if tpi not in SUPPORTED_TPI:
+            raise TpiRestrictionError(f"TPI must be one of {SUPPORTED_TPI}, got {tpi}")
+        width = spec.words
+        padded = list(words_) + [0] * (width - len(words_))
+        per_thread = -(-width // tpi)
+        lanes = [padded[t * per_thread : (t + 1) * per_thread] for t in range(tpi)]
+        for lane in lanes:
+            lane.extend([0] * (per_thread - len(lane)))
+        return cls(spec=spec, tpi=tpi, negative=negative, lanes=lanes)
+
+    @classmethod
+    def from_unscaled(cls, unscaled: int, spec: DecimalSpec, tpi: int) -> "GroupValue":
+        return cls.distribute(unscaled < 0, w.from_int(abs(unscaled), spec.words), spec, tpi)
+
+    @property
+    def words_per_thread(self) -> int:
+        return len(self.lanes[0])
+
+    def gather(self) -> List[int]:
+        """Reassemble the full word array (as the store phase would)."""
+        flat = [word for lane in self.lanes for word in lane]
+        return flat[: self.spec.words]
+
+    @property
+    def unscaled(self) -> int:
+        magnitude = w.to_int(self.gather())
+        return -magnitude if self.negative and magnitude else magnitude
+
+
+def add(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStats = None) -> GroupValue:
+    """Signed addition across the group.
+
+    Signs are shared among group threads (one broadcast); same-sign values
+    add with carries rippling across thread boundaries, mixed signs run the
+    comparison + subtraction path of section II-B.
+    """
+    stats = stats if stats is not None else GroupStats()
+    _check_compatible(a, b)
+    stats.broadcasts += 2  # each thread learns both signs
+    if a.negative == b.negative:
+        magnitude, carry = _group_add_magnitude(a, b, stats)
+        if carry:
+            raise OverflowError("group addition overflowed the register slices")
+        negative = a.negative and any(any(lane) for lane in magnitude)
+        return _build(result_spec, a.tpi, negative, magnitude)
+    order = _group_compare(a, b, stats)
+    if order == 0:
+        return GroupValue.from_unscaled(0, result_spec, a.tpi)
+    big, small = (a, b) if order > 0 else (b, a)
+    magnitude = _group_sub_magnitude(big, small, stats)
+    return _build(result_spec, a.tpi, big.negative, magnitude)
+
+
+def sub(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStats = None) -> GroupValue:
+    """Signed subtraction: flips b's sign then adds."""
+    flipped = GroupValue(spec=b.spec, tpi=b.tpi, negative=not b.negative, lanes=b.lanes)
+    return add(a, flipped, result_spec, stats)
+
+
+def mul(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStats = None) -> GroupValue:
+    """Group multiplication: operand words broadcast across the group.
+
+    Each thread accumulates the partial products that land in its output
+    slice; every word of ``b`` is broadcast to all threads (section
+    III-E1: "the loaded data ... are broadcast to other threads in the
+    group, piecing up the complete results").
+    """
+    stats = stats if stats is not None else GroupStats()
+    _check_compatible(a, b)
+    tpi = a.tpi
+    out_width = result_spec.words
+    per_thread = -(-out_width // tpi)
+    a_words = a.gather()
+    b_words = b.gather()
+    stats.broadcasts += len(b_words)  # each b word shuffles through the group
+    stats.shuffles += len(b_words) * (tpi - 1)
+
+    # Each thread computes its slice of the schoolbook accumulation; the
+    # product is truncated to the (overflow-free by inference) result width.
+    acc = [0] * (out_width + 1)
+    for i, wa in enumerate(a_words):
+        if wa == 0:
+            continue
+        for j, wb in enumerate(b_words):
+            k = i + j
+            if k < out_width:
+                acc[k] += wa * wb
+    # Carry resolution crosses thread slice boundaries: one ballot per pass.
+    for k in range(out_width):
+        acc[k + 1] += acc[k] >> WORD_BITS
+        acc[k] &= WORD_MASK
+    stats.ballots += tpi - 1
+
+    lanes = [
+        acc[t * per_thread : (t + 1) * per_thread] for t in range(tpi)
+    ]
+    for lane in lanes:
+        lane.extend([0] * (per_thread - len(lane)))
+    negative = (a.negative != b.negative) and any(any(lane) for lane in lanes)
+    return GroupValue(spec=result_spec, tpi=tpi, negative=negative, lanes=lanes)
+
+
+def div(
+    a: GroupValue,
+    b: GroupValue,
+    result_spec: DecimalSpec,
+    prescale: int,
+    stats: GroupStats = None,
+) -> GroupValue:
+    """Group division via the CGBN Newton-Raphson path.
+
+    Enforces the documented restriction ``LEN/TPI <= TPI``; the dividend is
+    prescaled by ``10**prescale`` per the section III-B3 rule.
+    """
+    stats = stats if stats is not None else GroupStats()
+    _check_compatible(a, b)
+    check_division_restriction(result_spec.words, a.tpi)
+    divisor = abs(b.unscaled)
+    if divisor == 0:
+        raise DivisionByZeroError("group division by zero")
+    width = max(result_spec.words, a.spec.words + w.pow10_words_needed(prescale) + 1)
+    dividend_words = w.mul_pow10(w.from_int(abs(a.unscaled), a.spec.words), prescale, width)
+    quotient_words, _rem, division_stats = newton_raphson_divmod(
+        dividend_words, w.from_int(divisor, width)
+    )
+    # Every NR iteration is two group multiplications' worth of broadcasts.
+    stats.broadcasts += 2 * division_stats.iterations * a.tpi
+    stats.shuffles += 2 * division_stats.iterations * (a.tpi - 1)
+    magnitude = w.to_int(quotient_words) % (1 << (32 * result_spec.words))
+    negative = (a.negative != b.negative) and magnitude != 0
+    return GroupValue.from_unscaled(-magnitude if negative else magnitude, result_spec, a.tpi)
+
+
+def compare(a: GroupValue, b: GroupValue, stats: GroupStats = None) -> int:
+    """Signed three-way compare across the group."""
+    stats = stats if stats is not None else GroupStats()
+    stats.broadcasts += 2
+    sign_a = 0 if a.unscaled == 0 else (-1 if a.negative else 1)
+    sign_b = 0 if b.unscaled == 0 else (-1 if b.negative else 1)
+    if sign_a != sign_b:
+        return 1 if sign_a > sign_b else -1
+    magnitude = _group_compare(a, b, stats)
+    return magnitude * (sign_a if sign_a else 1) if sign_a >= 0 else -magnitude
+
+
+# ---------------------------------------------------------------- internals
+
+
+def _check_compatible(a: GroupValue, b: GroupValue) -> None:
+    if a.tpi != b.tpi:
+        raise TpiRestrictionError(f"mismatched TPI: {a.tpi} vs {b.tpi}")
+
+
+def _build(spec: DecimalSpec, tpi: int, negative: bool, lanes: List[List[int]]) -> GroupValue:
+    value = GroupValue(spec=spec, tpi=tpi, negative=negative, lanes=lanes)
+    magnitude = w.to_int(value.gather())
+    return GroupValue.from_unscaled(-magnitude if negative and magnitude else magnitude, spec, tpi)
+
+
+def _group_add_magnitude(a: GroupValue, b: GroupValue, stats: GroupStats) -> Tuple[List[List[int]], int]:
+    """Slice-wise addition; a carry crossing a slice boundary is a shuffle."""
+    tpi = a.tpi
+    lanes: List[List[int]] = []
+    carry = 0
+    b_lanes = _match_slices(b, a.words_per_thread)
+    for t in range(tpi):
+        lane_out = []
+        if t > 0 and carry:
+            stats.shuffles += 1  # carry handed to the next thread
+        for wa, wb in zip(a.lanes[t], b_lanes[t]):
+            total = wa + wb + carry
+            lane_out.append(total & WORD_MASK)
+            carry = total >> WORD_BITS
+        lanes.append(lane_out)
+        stats.ballots += 1  # group agrees whether a carry continues
+    return lanes, carry
+
+
+def _group_sub_magnitude(a: GroupValue, b: GroupValue, stats: GroupStats) -> List[List[int]]:
+    tpi = a.tpi
+    lanes: List[List[int]] = []
+    borrow = 0
+    b_lanes = _match_slices(b, a.words_per_thread)
+    for t in range(tpi):
+        lane_out = []
+        if t > 0 and borrow:
+            stats.shuffles += 1
+        for wa, wb in zip(a.lanes[t], b_lanes[t]):
+            total = wa - wb - borrow
+            lane_out.append(total & WORD_MASK)
+            borrow = 1 if total < 0 else 0
+        lanes.append(lane_out)
+        stats.ballots += 1
+    if borrow:
+        raise AssertionError("group subtraction underflow: operands not ordered")
+    return lanes
+
+
+def _group_compare(a: GroupValue, b: GroupValue, stats: GroupStats) -> int:
+    """Magnitude compare, most significant thread first (one ballot)."""
+    stats.ballots += 1
+    a_words = a.gather()
+    b_words = b.gather()
+    width = max(len(a_words), len(b_words))
+    return w.compare(
+        a_words + [0] * (width - len(a_words)),
+        b_words + [0] * (width - len(b_words)),
+    )
+
+
+def _match_slices(value: GroupValue, words_per_thread: int) -> List[List[int]]:
+    """Redistribute a value to slices of the given width (zero padded)."""
+    if value.words_per_thread == words_per_thread:
+        return value.lanes
+    flat = value.gather()
+    flat += [0] * (words_per_thread * value.tpi - len(flat))
+    return [
+        flat[t * words_per_thread : (t + 1) * words_per_thread] for t in range(value.tpi)
+    ]

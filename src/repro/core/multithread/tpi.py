@@ -1,0 +1,99 @@
+"""TPI (threads-per-instance) load planning (paper section III-E1).
+
+A group of TPI threads cooperates on one decimal instance.  When a compact
+value of ``Lb`` bytes is loaded, each thread reads ``lt = ceil(Lb/(4*TPI))``
+words of neighbouring data (minimising inter-thread carry communication),
+and the trailing thread reads whatever remains -- Listing 3's generated
+branch.  This module computes that plan and renders the equivalent code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import TpiRestrictionError
+
+#: TPI values the paper evaluates (Figure 13).
+SUPPORTED_TPI = (1, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """How a TPI group loads one compact value."""
+
+    spec: DecimalSpec
+    tpi: int
+    words_per_thread: int  # lt
+    full_threads: int  # threads that read lt full words
+    tail_bytes: int  # bytes the trailing thread reads (0 if aligned)
+
+    @property
+    def is_aligned(self) -> bool:
+        """True when no tail branch is generated (Lb divisible by lt*4)."""
+        return self.tail_bytes == 0 and self.full_threads == self.tpi
+
+
+def plan_load(spec: DecimalSpec, tpi: int) -> LoadPlan:
+    """Compute the Listing 3 load plan for a value of ``spec`` at ``tpi``."""
+    if tpi not in SUPPORTED_TPI:
+        raise TpiRestrictionError(f"TPI must be one of {SUPPORTED_TPI}, got {tpi}")
+    lb = spec.compact_bytes
+    lt = -(-lb // (4 * tpi))
+    chunk = 4 * lt
+    full_threads = lb // chunk
+    tail = lb - full_threads * chunk
+    if full_threads >= tpi:
+        full_threads = tpi
+        tail = 0
+    return LoadPlan(
+        spec=spec,
+        tpi=tpi,
+        words_per_thread=lt,
+        full_threads=full_threads,
+        tail_bytes=tail,
+    )
+
+
+def check_division_restriction(result_words: int, tpi: int) -> None:
+    """Enforce the CGBN Newton-Raphson restriction ``LEN/TPI <= TPI``.
+
+    The paper notes "no data is presented when executing the 4-threading
+    kernel and LEN is 32" because 32/4 > 4.
+    """
+    if tpi > 1 and result_words / tpi > tpi:
+        raise TpiRestrictionError(
+            f"multi-threaded division requires LEN/TPI <= TPI "
+            f"(LEN={result_words}, TPI={tpi})"
+        )
+
+
+def division_supported(result_words: int, tpi: int) -> bool:
+    """Whether the multi-threaded division path supports this shape."""
+    return tpi == 1 or result_words / tpi <= tpi
+
+
+def render_load_code(plan: LoadPlan) -> str:
+    """Render the Listing-3-style generated load code for documentation."""
+    lines: List[str] = [
+        f"int g_tid = threadIdx.x & {plan.tpi - 1}; // TPI-1 = {plan.tpi - 1}",
+        f"int tid = (blockIdx.x * blockDim.x + threadIdx.x) / {plan.tpi};",
+        "if (tid >= tupleNum) return;",
+        "",
+        f"uint32_t v[{plan.words_per_thread}]; // lt = {plan.words_per_thread}",
+    ]
+    chunk = 4 * plan.words_per_thread
+    if plan.is_aligned:
+        lines.append(f"memcopy(v, input[0][tid] + g_tid * {chunk}, {chunk});")
+        lines.append("// No following branch: the compact representation is aligned to TPI.")
+    else:
+        lines.append(f"if (g_tid < {plan.full_threads}) // Lb/(lt*4) = {plan.full_threads}")
+        lines.append(f"    memcopy(v, input[0][tid] + g_tid * {chunk}, {chunk}); // lt*4 = {chunk}")
+        if plan.tail_bytes:
+            lines.append(f"else if (g_tid == {plan.full_threads})")
+            lines.append(
+                f"    memcopy(v, input[0][tid] + g_tid * {chunk}, {plan.tail_bytes});"
+                f" // Lb % (lt*4) = {plan.tail_bytes}"
+            )
+    return "\n".join(lines)

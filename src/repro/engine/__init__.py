@@ -1,0 +1,5 @@
+"""The UltraPrecise query engine: SQL -> plans -> simulated GPU execution."""
+
+from repro.engine.session import Database, QueryResult
+
+__all__ = ["Database", "QueryResult"]

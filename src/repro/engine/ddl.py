@@ -1,0 +1,94 @@
+"""Convenience DDL: build relations from Python literals.
+
+``Database.create_table`` accepts a schema of type strings and rows of
+host literals, handling the literal -> unscaled conversion so users never
+touch limb arrays:
+
+    db.create_table(
+        "accounts",
+        {"balance": "DECIMAL(20, 4)", "owner": "CHAR(8)", "opened": "INT"},
+        rows=[("1234.5678", "alice", 1), (99, "bob", 2)],
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Union
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.convert import literal_to_unscaled
+from repro.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.relation import Relation
+from repro.storage.schema import (
+    CharType,
+    ColumnType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    IntType,
+)
+
+_DECIMAL_RE = re.compile(r"^DECIMAL\s*\(\s*(\d+)\s*,\s*(\d+)\s*\)$", re.IGNORECASE)
+_CHAR_RE = re.compile(r"^CHAR\s*\(\s*(\d+)\s*\)$", re.IGNORECASE)
+
+TypeSpec = Union[str, ColumnType, DecimalSpec]
+
+
+def parse_type(spec: TypeSpec) -> ColumnType:
+    """Turn a type string (or a ready-made type object) into a ColumnType."""
+    if isinstance(spec, DecimalSpec):
+        return DecimalType(spec)
+    if isinstance(spec, (DecimalType, DoubleType, IntType, DateType, CharType)):
+        return spec
+    if not isinstance(spec, str):
+        raise SchemaError(f"unsupported type spec {spec!r}")
+    text = spec.strip()
+    match = _DECIMAL_RE.match(text)
+    if match:
+        return DecimalType(DecimalSpec(int(match.group(1)), int(match.group(2))))
+    match = _CHAR_RE.match(text)
+    if match:
+        return CharType(int(match.group(1)))
+    upper = text.upper()
+    if upper in ("DOUBLE", "FLOAT8"):
+        return DoubleType()
+    if upper in ("INT", "BIGINT", "INTEGER"):
+        return IntType()
+    if upper == "DATE":
+        return DateType()
+    raise SchemaError(f"unsupported column type {spec!r}")
+
+
+def build_relation(
+    name: str,
+    schema: Dict[str, TypeSpec],
+    rows: Sequence[Sequence] = (),
+) -> Relation:
+    """Build a relation from a schema and rows of host literals."""
+    types = {column: parse_type(spec) for column, spec in schema.items()}
+    columns: List[Column] = []
+    transposed = list(zip(*rows)) if rows else [[] for _ in types]
+    if rows and len(transposed) != len(types):
+        raise SchemaError(
+            f"rows have {len(transposed)} values but the schema has {len(types)} columns"
+        )
+    for (column_name, column_type), values in zip(types.items(), transposed):
+        values = list(values)
+        if isinstance(column_type, DecimalType):
+            spec = column_type.spec
+            unscaled = []
+            for value in values:
+                negative, magnitude = literal_to_unscaled(value, spec)
+                unscaled.append(-magnitude if negative else magnitude)
+            columns.append(Column.decimal_from_unscaled(column_name, unscaled, spec))
+        elif isinstance(column_type, CharType):
+            columns.append(Column.chars(column_name, [str(v) for v in values], column_type.width))
+        elif isinstance(column_type, DoubleType):
+            columns.append(Column.doubles(column_name, [float(v) for v in values]))
+        elif isinstance(column_type, DateType):
+            columns.append(Column.dates(column_name, [int(v) for v in values]))
+        else:
+            columns.append(Column.integers(column_name, [int(v) for v in values]))
+    return Relation(name, columns)

@@ -1,0 +1,23 @@
+"""Query executor: runs a physical operator chain bottom-up (Figure 3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.plan.physical import Batch, PhysicalOp, QueryContext
+
+
+#: Per-operator pipeline overhead at 10M tuples (materialisation, setup).
+OPERATOR_OVERHEAD_SECONDS = 0.050
+
+
+def run_plan(chain: List[PhysicalOp], context: QueryContext) -> Batch:
+    """Execute the operator chain and return the final batch."""
+    batch: Optional[Batch] = None
+    for op in chain:
+        batch = op.run(batch, context)
+    context.report.pipeline_seconds += (
+        len(chain) * OPERATOR_OVERHEAD_SECONDS * (context.simulate_rows / 10_000_000)
+    )
+    assert batch is not None
+    return batch

@@ -1,0 +1,176 @@
+"""EXPLAIN support: inspect plans, kernels and cost estimates without
+executing a query's data plane at full size.
+
+``Database.explain(sql)`` plans the query, JIT-compiles its expressions,
+and returns an :class:`ExplainResult` carrying the operator chain, every
+generated kernel (with its CUDA-like source and per-kernel timing
+estimate), and the end-to-end simulated cost estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.jit.ir import KernelIR
+from repro.core.jit.pipeline import CompiledExpression, JitOptions
+from repro.engine.plan.physical import (
+    AggregateOp,
+    FilterOp,
+    GroupAggregateOp,
+    HashJoinOp,
+    LimitOp,
+    PhysicalOp,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+)
+from repro.engine.sql.ast_nodes import AggregateCall, Query
+from repro.gpusim import timing as gpu_timing
+from repro.gpusim.device import GpuDevice
+from repro.storage.relation import Relation
+
+
+@dataclass
+class KernelPlan:
+    """One JIT-compiled kernel in the plan."""
+
+    name: str
+    expression: str
+    optimised_expression: str
+    result_spec: str
+    alignments_before: int
+    alignments_after: int
+    estimated_ms: float
+    source: str
+
+
+@dataclass
+class ExplainResult:
+    """A query's plan, kernels and cost estimate."""
+
+    sql: str
+    operators: List[str]
+    kernels: List[KernelPlan]
+    estimated_compile_ms: float
+    estimated_total_ms: float
+    simulate_rows: int
+
+    def format(self, with_source: bool = False) -> str:
+        lines = [f"EXPLAIN (simulated at {self.simulate_rows:,} tuples)"]
+        for index, operator in enumerate(self.operators):
+            lines.append(f"  {'-> ' * min(index, 1)}{operator}")
+        if self.kernels:
+            lines.append("  kernels:")
+            for kernel in self.kernels:
+                lines.append(
+                    f"    {kernel.name}: {kernel.expression} -> "
+                    f"{kernel.optimised_expression} [{kernel.result_spec}] "
+                    f"~{kernel.estimated_ms:.2f} ms "
+                    f"(alignments {kernel.alignments_before}->{kernel.alignments_after})"
+                )
+                if with_source:
+                    lines.append("      " + kernel.source.replace("\n", "\n      "))
+        lines.append(f"  estimated compile: {self.estimated_compile_ms:.0f} ms")
+        lines.append(f"  estimated total:   {self.estimated_total_ms:.0f} ms")
+        return "\n".join(lines)
+
+
+def explain_query(
+    query: Query,
+    chain: List[PhysicalOp],
+    relation: Relation,
+    simulate_rows: int,
+    jit_options: JitOptions,
+    device: GpuDevice,
+    joined=None,
+) -> ExplainResult:
+    """Build an ExplainResult from a planned query."""
+    from repro.core.jit.pipeline import compile_expression
+
+    schema = relation.decimal_schema()
+    for joined_relation in (joined or {}).values():
+        schema.update(joined_relation.decimal_schema())
+    operators: List[str] = []
+    kernels: List[KernelPlan] = []
+
+    def add_kernel(text: str, name: str) -> None:
+        bare = text.strip()
+        if bare in schema or bare == "*":
+            return  # bare columns need no kernel
+        compiled = compile_expression(text, schema, jit_options, name=name)
+        estimate = gpu_timing.kernel_time(compiled.kernel, simulate_rows, device)
+        kernels.append(
+            KernelPlan(
+                name=name,
+                expression=text,
+                optimised_expression=compiled.tree.to_sql(),
+                result_spec=str(compiled.kernel.result_spec),
+                alignments_before=compiled.alignments_before,
+                alignments_after=compiled.alignments_after,
+                estimated_ms=estimate.seconds * 1e3,
+                source=compiled.kernel.source,
+            )
+        )
+
+    for op in chain:
+        if isinstance(op, ScanOp):
+            operators.append(f"Scan {relation.name} [{', '.join(op.columns)}]")
+        elif isinstance(op, FilterOp):
+            predicates = " AND ".join(str(p) for p in op.predicates)
+            operators.append(f"Filter [{predicates}]")
+        elif isinstance(op, ProjectOp):
+            operators.append(
+                "Project (JIT) [" + ", ".join(str(i.expression) for i in op.items) + "]"
+            )
+            for index, item in enumerate(op.items):
+                add_kernel(item.expression, f"calc_expr_{index}")
+        elif isinstance(op, AggregateOp):
+            operators.append(
+                "Aggregate [" + ", ".join(str(i.expression) for i in op.items) + "]"
+            )
+            for index, item in enumerate(op.items):
+                call = item.expression
+                if isinstance(call, AggregateCall) and call.function != "COUNT":
+                    add_kernel(call.argument, f"agg_expr_{index}")
+        elif isinstance(op, GroupAggregateOp):
+            operators.append(
+                f"GroupAggregate keys=[{', '.join(op.group_by)}] "
+                "[" + ", ".join(str(i.expression) for i in op.items) + "]"
+            )
+            for index, item in enumerate(op.items):
+                call = item.expression
+                if isinstance(call, AggregateCall) and call.function != "COUNT":
+                    add_kernel(call.argument, f"agg_expr_{index}")
+        elif isinstance(op, SortOp):
+            operators.append(
+                "Sort [" + ", ".join(
+                    f"{k.column} {'ASC' if k.ascending else 'DESC'}" for k in op.keys
+                ) + "]"
+            )
+        elif isinstance(op, HashJoinOp):
+            operators.append(
+                f"HashJoin {op.join.table} "
+                f"[{op.join.left_column} = {op.join.right_column}]"
+            )
+        elif isinstance(op, LimitOp):
+            operators.append(f"Limit [{op.count}]")
+
+    # Reuse the compile-time model on the actual kernel set.
+    compile_seconds = 0.0
+    if kernels:
+        compiled_irs = [
+            compile_expression(kernel.expression, schema, jit_options, name=kernel.name).kernel
+            for kernel in kernels
+        ]
+        compile_seconds = gpu_timing.compile_time(compiled_irs)
+
+    total_ms = compile_seconds * 1e3 + sum(k.estimated_ms for k in kernels)
+    return ExplainResult(
+        sql="",
+        operators=operators,
+        kernels=kernels,
+        estimated_compile_ms=compile_seconds * 1e3,
+        estimated_total_ms=total_ms,
+        simulate_rows=simulate_rows,
+    )

@@ -1,0 +1,145 @@
+"""Logical plan nodes (paper Figure 3: SQL -> logical plan -> physical plan).
+
+The logical plan is deliberately small: a linear chain of relational
+operators whose expressions are still raw text (the JIT engine takes over
+at physical planning time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.sql.ast_nodes import Comparison, Join, OrderKey, Query, SelectItem
+
+
+@dataclass
+class LogicalNode:
+    """Base logical operator."""
+
+    child: Optional["LogicalNode"] = field(default=None, init=False)
+
+
+@dataclass
+class LogicalScan(LogicalNode):
+    table: str
+    columns: List[str]  # the columns the query actually touches
+
+
+@dataclass
+class LogicalJoin(LogicalNode):
+    join: Join
+    right_columns: List[str]  # the joined table's columns the query needs
+
+
+@dataclass
+class LogicalFilter(LogicalNode):
+    predicates: List[Comparison]
+
+
+@dataclass
+class LogicalProject(LogicalNode):
+    items: List[SelectItem]
+
+
+@dataclass
+class LogicalAggregate(LogicalNode):
+    aggregates: List[SelectItem]
+    group_by: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LogicalHaving(LogicalNode):
+    """HAVING: a filter over the aggregated batch (aliases resolve there)."""
+
+    predicates: List[Comparison]
+
+
+@dataclass
+class LogicalSort(LogicalNode):
+    keys: List[OrderKey]
+
+
+@dataclass
+class LogicalLimit(LogicalNode):
+    count: int
+
+
+def build_logical_plan(
+    query: Query,
+    available_columns: List[str],
+    joined_columns: "Optional[dict]" = None,
+) -> LogicalNode:
+    """Turn a parsed query into a logical operator chain (root last).
+
+    ``joined_columns`` maps each JOINed table name to its column list so
+    column references resolve across every relation in the query.
+    """
+    joined_columns = joined_columns or {}
+    # Columns named in any ON clause must survive from whichever relation
+    # owns them (a later join's left key may come from an earlier join).
+    on_columns = [c for join in query.joins for c in (join.left_column, join.right_column)]
+    referenced = _referenced_columns(query, available_columns)
+    for column in on_columns:
+        if column in available_columns and column not in referenced:
+            referenced.append(column)
+    node: LogicalNode = LogicalScan(query.table, referenced)
+    for join in query.joins:
+        right_available = joined_columns.get(join.table, [])
+        right_needed = _referenced_columns(query, right_available)
+        for column in on_columns:
+            if column in right_available and column not in right_needed:
+                right_needed.append(column)
+        join_node = LogicalJoin(join, right_needed)
+        join_node.child = node
+        node = join_node
+    if query.where:
+        filter_node = LogicalFilter(query.where)
+        filter_node.child = node
+        node = filter_node
+    if query.has_aggregates:
+        aggregate_node = LogicalAggregate(query.select_items, query.group_by)
+        aggregate_node.child = node
+        node = aggregate_node
+        if query.having:
+            having_node = LogicalHaving(query.having)
+            having_node.child = node
+            node = having_node
+    else:
+        project_node = LogicalProject(query.select_items)
+        project_node.child = node
+        node = project_node
+    if query.order_by:
+        sort_node = LogicalSort(query.order_by)
+        sort_node.child = node
+        node = sort_node
+    if query.limit is not None:
+        limit_node = LogicalLimit(query.limit)
+        limit_node.child = node
+        node = limit_node
+    return node
+
+
+def _referenced_columns(query: Query, available: List[str]) -> List[str]:
+    """Columns the query touches, in catalog order (drives scan/PCIe cost)."""
+    mentioned = set()
+    for item in query.select_items:
+        text = item.expression.argument if item.is_aggregate else item.expression
+        for name in available:
+            if _mentions(text, name):
+                mentioned.add(name)
+    for predicate in query.where:
+        mentioned.add(predicate.column)
+        if predicate.column_rhs is not None:
+            mentioned.add(predicate.column_rhs)
+    mentioned.update(query.group_by)
+    for key in query.order_by:
+        if key.column in available:
+            mentioned.add(key.column)
+    return [name for name in available if name in mentioned]
+
+
+def _mentions(text: str, name: str) -> bool:
+    import re
+
+    return re.search(rf"\b{re.escape(name)}\b", text) is not None

@@ -1,0 +1,602 @@
+"""Physical operators: executable, costed plan nodes.
+
+Each operator both *computes* (bit-exactly, over the real rows registered
+with the engine) and *charges* the simulated cost model (scaled to the
+engine's ``simulate_rows``, since every model is linear in N).  The
+executor threads a :class:`Batch` through the chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.value import DecimalValue
+from repro.core.decimal.vectorized import DecimalVector
+from repro.core.jit.pipeline import JitOptions, KernelCache
+from repro.core.multithread import aggregation as mt_aggregation
+from repro.engine.sql.ast_nodes import AggregateCall, Comparison, OrderKey, SelectItem
+from repro.errors import ExecutionError, PlanningError
+from repro.gpusim import executor as gpu_executor
+from repro.gpusim import timing as gpu_timing
+from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
+from repro.storage.column import Column
+from repro.storage.relation import Relation
+from repro.storage.schema import CharType, DateType, DecimalType, DoubleType, IntType
+
+
+@dataclass
+class ExecutionReport:
+    """Simulated time breakdown of one query."""
+
+    scan_seconds: float = 0.0
+    pcie_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    filter_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+    sort_seconds: float = 0.0
+    #: Operator pipeline overhead: intermediate materialisation, operator
+    #: setup, result collection -- the host-side engine cost around the
+    #: kernels (RateupDB heritage; calibrated on Figure 14(b)).
+    pipeline_seconds: float = 0.0
+    kernels_compiled: int = 0
+    kernels_cached: int = 0
+    simulated_rows: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.scan_seconds
+            + self.pcie_seconds
+            + self.compile_seconds
+            + self.kernel_seconds
+            + self.filter_seconds
+            + self.aggregate_seconds
+            + self.sort_seconds
+            + self.pipeline_seconds
+        )
+
+    @property
+    def execution_seconds(self) -> float:
+        """Everything except JIT compilation (the Figure 14(b) split)."""
+        return self.total_seconds - self.compile_seconds
+
+
+@dataclass
+class Batch:
+    """Columns flowing between operators, plus the simulated row count."""
+
+    columns: Dict[str, Column]
+    rows: int
+    simulated_rows: float
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(f"column {name!r} not in batch") from None
+
+
+@dataclass
+class QueryContext:
+    """Everything operators need: device models, caches, options."""
+
+    relation: Relation
+    simulate_rows: int
+    #: Relations brought in by JOIN clauses, keyed by table name.
+    joined: Dict[str, Relation] = field(default_factory=dict)
+    device: GpuDevice = DEFAULT_DEVICE
+    host: HostSystem = DEFAULT_HOST
+    kernel_cache: KernelCache = field(default_factory=KernelCache)
+    jit_options: JitOptions = field(default_factory=JitOptions)
+    include_scan: bool = True
+    include_transfer: bool = True
+    include_compile: bool = True
+    tpi: int = 8  # thread-group width for aggregation
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+
+
+OutputValue = Union[DecimalValue, int, float, str]
+
+
+class PhysicalOp:
+    """Base class: transforms a batch and charges the report."""
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        raise NotImplementedError
+
+
+class ScanOp(PhysicalOp):
+    """Read the needed columns from storage, then ship them over PCIe."""
+
+    def __init__(self, columns: List[str]):
+        self.columns = columns
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        relation = context.relation
+        scale = context.simulate_rows / max(relation.rows, 1)
+        bytes_per_real = relation.bytes_for(self.columns) if self.columns else 0
+        simulated_bytes = int(bytes_per_real * scale)
+        if context.include_scan:
+            context.report.scan_seconds += gpu_timing.disk_scan_time(simulated_bytes, context.host)
+        if context.include_transfer:
+            context.report.pcie_seconds += gpu_timing.pcie_time(simulated_bytes, context.device)
+        columns = {name: relation.column(name) for name in self.columns}
+        context.report.simulated_rows = context.simulate_rows
+        return Batch(columns=columns, rows=relation.rows, simulated_rows=float(context.simulate_rows))
+
+
+class FilterOp(PhysicalOp):
+    """Apply WHERE conjuncts; selectivity scales the simulated row count."""
+
+    def __init__(self, predicates: List[Comparison]):
+        self.predicates = predicates
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        mask = np.ones(batch.rows, dtype=bool)
+        for predicate in self.predicates:
+            if predicate.column_rhs is not None:
+                mask &= _evaluate_column_predicate(
+                    batch.column(predicate.column),
+                    predicate.op,
+                    batch.column(predicate.column_rhs),
+                )
+            else:
+                mask &= _evaluate_predicate(batch.column(predicate.column), predicate)
+        indices = np.nonzero(mask)[0]
+        selectivity = len(indices) / max(batch.rows, 1)
+        # Filter kernel: one pass over the predicate columns.
+        predicate_bytes = sum(
+            batch.column(p.column).bytes_stored / max(batch.rows, 1) for p in self.predicates
+        )
+        traffic = predicate_bytes * batch.simulated_rows
+        context.report.filter_seconds += traffic / (
+            context.device.dram_bandwidth * context.device.dram_efficiency
+        ) + context.device.kernel_launch_overhead
+        return Batch(
+            columns={name: column.take(indices) for name, column in batch.columns.items()},
+            rows=len(indices),
+            simulated_rows=batch.simulated_rows * selectivity,
+        )
+
+
+class HashJoinOp(PhysicalOp):
+    """Inner equi-join: hash-build on the joined table, probe the batch.
+
+    The joined relation is scanned and shipped over PCIe like any other
+    input; the simulated cost covers the scan/transfer, one build pass over
+    the right side, and one probe pass over the left batch.
+    """
+
+    def __init__(self, join, right_columns: List[str]):
+        self.join = join
+        self.right_columns = right_columns
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        try:
+            right_relation = context.joined[self.join.table]
+        except KeyError:
+            raise ExecutionError(f"joined relation {self.join.table!r} missing") from None
+
+        # Scan + transfer the right side (same cost treatment as ScanOp).
+        right_scale = context.simulate_rows / max(right_relation.rows, 1)
+        right_bytes = int(right_relation.bytes_for(self.right_columns) * right_scale)
+        if context.include_scan:
+            context.report.scan_seconds += gpu_timing.disk_scan_time(right_bytes, context.host)
+        if context.include_transfer:
+            context.report.pcie_seconds += gpu_timing.pcie_time(right_bytes, context.device)
+
+        left_keys = _grouping_key(batch.column(self.join.left_column))
+        right_keys = _grouping_key(right_relation.column(self.join.right_column))
+
+        build: Dict = {}
+        for row, key in enumerate(right_keys):
+            build.setdefault(key, []).append(row)
+
+        left_indices: List[int] = []
+        right_indices: List[int] = []
+        for row, key in enumerate(left_keys):
+            for match in build.get(key, ()):
+                left_indices.append(row)
+                right_indices.append(match)
+
+        # Build + probe passes at hash-table (random access) bandwidth.
+        sim_right = right_relation.rows * right_scale
+        key_bytes = 12.0  # key + slot pointer
+        traffic = (batch.simulated_rows + sim_right) * key_bytes
+        context.report.filter_seconds += traffic / (
+            context.device.dram_bandwidth * context.device.dram_efficiency * 0.25
+        ) + context.device.kernel_launch_overhead
+
+        match_ratio = len(left_indices) / max(batch.rows, 1)
+        left_take = np.asarray(left_indices, dtype=np.int64)
+        right_take = np.asarray(right_indices, dtype=np.int64)
+        columns = {
+            name: column.take(left_take) for name, column in batch.columns.items()
+        }
+        for name in self.right_columns:
+            if name in columns:
+                continue  # left side wins on (unexpected) name collisions
+            columns[name] = right_relation.column(name).take(right_take)
+        return Batch(
+            columns=columns,
+            rows=len(left_indices),
+            simulated_rows=batch.simulated_rows * match_ratio,
+        )
+
+
+class ProjectOp(PhysicalOp):
+    """Evaluate non-aggregate expressions through the JIT engine."""
+
+    def __init__(self, items: List[SelectItem]):
+        self.items = items
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        out: Dict[str, Column] = {}
+        for index, item in enumerate(self.items):
+            text = item.expression
+            assert isinstance(text, str)
+            bare = text.strip()
+            if bare in batch.columns:
+                # Bare column projections (any type) pass straight through.
+                column = batch.columns[bare]
+                out[item.name] = Column(item.name, column.column_type, column.data)
+                continue
+            vector = _evaluate_expression(text, batch, context, kernel_name=f"calc_expr_{index}")
+            out[item.name] = Column(item.name, DecimalType(vector.spec), vector.to_compact())
+        if context.include_transfer:
+            result_bytes = sum(
+                column.bytes_stored / max(batch.rows, 1) for column in out.values()
+            ) * batch.simulated_rows
+            context.report.pcie_seconds += gpu_timing.pcie_time(int(result_bytes), context.device)
+        return Batch(columns=out, rows=batch.rows, simulated_rows=batch.simulated_rows)
+
+
+class AggregateOp(PhysicalOp):
+    """Ungrouped aggregation via the multi-threaded multi-pass reducer."""
+
+    def __init__(self, items: List[SelectItem]):
+        self.items = items
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        out: Dict[str, Column] = {}
+        sim_n = max(int(round(batch.simulated_rows)), 1)
+        for index, item in enumerate(self.items):
+            call = item.expression
+            assert isinstance(call, AggregateCall)
+            if call.function == "COUNT":
+                spec = inference.count_spec(sim_n)
+                out[item.name] = Column.decimal_from_unscaled(item.name, [batch.rows], spec)
+                continue
+            vector = _evaluate_expression(
+                call.argument, batch, context, kernel_name=f"agg_expr_{index}"
+            )
+            run = mt_aggregation.aggregate(
+                vector.to_unscaled(),
+                vector.spec,
+                op=call.function.lower(),
+                tpi=context.tpi,
+                device=context.device,
+                simulate_tuples=sim_n,
+            )
+            context.report.aggregate_seconds += run.seconds
+            out[item.name] = Column.decimal_from_unscaled(item.name, [run.value], run.spec)
+        return Batch(columns=out, rows=1, simulated_rows=1.0)
+
+
+#: Effective bandwidth of the grouped-aggregation data reorganisation:
+#: segment gather/scatter of wide decimal payloads after the key sort is
+#: far from streaming speed.  Calibrated on Figure 14(b)'s Q1 LEN sweep.
+GROUP_GATHER_BANDWIDTH = 4.0e9
+
+
+class GroupAggregateOp(PhysicalOp):
+    """GROUP BY + aggregates.
+
+    Tuples are grouped by sorting on the key columns (DECIMAL keys compare
+    via the comparison operators of section III-A); each group reduces with
+    the multi-pass aggregation.  The simulated cost adds the key sort, a
+    per-aggregate payload gather (every value moves into its group's
+    segment), and the multi-pass reduction itself.
+    """
+
+    def __init__(self, group_by: List[str], items: List[SelectItem]):
+        self.group_by = group_by
+        self.items = items
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        keys = [_grouping_key(batch.column(name)) for name in self.group_by]
+        rows = batch.rows
+        composite = list(zip(*keys)) if keys else [()] * rows
+        group_order: Dict[Tuple, List[int]] = {}
+        for row, key in enumerate(composite):
+            group_order.setdefault(key, []).append(row)
+        groups = sorted(group_order)
+
+        sim_n = max(int(round(batch.simulated_rows)), 1)
+        # Sort cost over the key bytes + aggregation passes over all rows.
+        key_bytes = sum(
+            batch.column(name).bytes_stored / max(rows, 1) for name in self.group_by
+        )
+        sort_passes = max(1, int(math.log2(max(sim_n, 2)) / 8))
+        context.report.sort_seconds += (
+            sort_passes * key_bytes * batch.simulated_rows
+        ) / (context.device.dram_bandwidth * context.device.dram_efficiency)
+
+        out: Dict[str, List] = {name: [] for name in self.group_by}
+        aggregate_columns: Dict[str, Tuple[List[int], DecimalSpec]] = {}
+
+        # Evaluate each aggregate's input expression once over all rows.
+        vectors: Dict[int, Tuple[List[int], DecimalSpec]] = {}
+        for index, item in enumerate(self.items):
+            call = item.expression
+            assert isinstance(call, AggregateCall)
+            if call.function != "COUNT":
+                vector = _evaluate_expression(
+                    call.argument, batch, context, kernel_name=f"agg_expr_{index}"
+                )
+                vectors[index] = (vector.to_unscaled(), vector.spec)
+                # Payload gather: every (4*Lw+1)-byte value moves into its
+                # group segment before the blockwise reduction.
+                value_bytes = 4 * vector.spec.words + 1
+                context.report.aggregate_seconds += (
+                    batch.simulated_rows * value_bytes / GROUP_GATHER_BANDWIDTH
+                )
+
+        group_sim = sim_n / max(len(groups), 1)
+        for key in groups:
+            indices = group_order[key]
+            for position, name in enumerate(self.group_by):
+                out[name].append(key[position])
+            for index, item in enumerate(self.items):
+                call = item.expression
+                assert isinstance(call, AggregateCall)
+                if call.function == "COUNT":
+                    values, spec = aggregate_columns.setdefault(
+                        item.name, ([], inference.count_spec(sim_n))
+                    )
+                    values.append(len(indices))
+                    continue
+                unscaled, spec = vectors[index]
+                subset = [unscaled[i] for i in indices]
+                run = mt_aggregation.aggregate(
+                    subset,
+                    spec,
+                    op=call.function.lower(),
+                    tpi=context.tpi,
+                    device=context.device,
+                    simulate_tuples=max(int(group_sim), 1),
+                )
+                context.report.aggregate_seconds += run.seconds
+                values, _spec = aggregate_columns.setdefault(item.name, ([], run.spec))
+                values.append(run.value)
+
+        # Zero-group inputs (everything filtered away) still need typed,
+        # empty output columns.
+        for index, item in enumerate(self.items):
+            if item.name in aggregate_columns:
+                continue
+            call = item.expression
+            if call.function == "COUNT":
+                aggregate_columns[item.name] = ([], inference.count_spec(sim_n))
+            else:
+                _values, spec = vectors[index]
+                aggregate_columns[item.name] = ([], inference.sum_result(spec, sim_n))
+
+        columns: Dict[str, Column] = {}
+        for name in self.group_by:
+            columns[name] = _column_from_keys(name, out[name], batch.column(name))
+        for item in self.items:
+            values, spec = aggregate_columns[item.name]
+            columns[item.name] = Column.decimal_from_unscaled(item.name, values, spec)
+        return Batch(columns=columns, rows=len(groups), simulated_rows=float(len(groups)))
+
+
+class LimitOp(PhysicalOp):
+    """LIMIT n over the (already ordered) result batch."""
+
+    def __init__(self, count: int):
+        if count < 0:
+            raise PlanningError(f"LIMIT must be non-negative, got {count}")
+        self.count = count
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        keep = min(self.count, batch.rows)
+        return Batch(
+            columns={name: column.head(keep) for name, column in batch.columns.items()},
+            rows=keep,
+            simulated_rows=float(keep),
+        )
+
+
+class SortOp(PhysicalOp):
+    """ORDER BY over the (small) result batch."""
+
+    def __init__(self, keys: List[OrderKey]):
+        self.keys = keys
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        order = np.arange(batch.rows)
+        for key in reversed(self.keys):
+            column = batch.column(key.column)
+            values = _sort_values(column)
+            ranks = np.argsort(np.asarray(values)[order], kind="stable")
+            if not key.ascending:
+                ranks = ranks[::-1]
+            order = order[ranks]
+        context.report.sort_seconds += context.device.kernel_launch_overhead
+        return Batch(
+            columns={name: column.take(order) for name, column in batch.columns.items()},
+            rows=batch.rows,
+            simulated_rows=batch.simulated_rows,
+        )
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _evaluate_expression(
+    text: str, batch: Batch, context: QueryContext, kernel_name: str
+) -> DecimalVector:
+    """JIT-compile and run one expression kernel over the batch.
+
+    A bare column reference needs no kernel at all: the aggregation
+    operators (section III-E2) consume the compact column directly, so no
+    JIT compilation is charged.
+    """
+    bare = text.strip()
+    if bare in batch.columns and isinstance(
+        batch.columns[bare].column_type, DecimalType
+    ):
+        return batch.columns[bare].decimal_vector()
+    schema = {
+        name: column.column_type.spec
+        for name, column in batch.columns.items()
+        if isinstance(column.column_type, DecimalType)
+    }
+    compiled, cached = context.kernel_cache.compile(
+        text, schema, context.jit_options, name=kernel_name
+    )
+    if cached:
+        context.report.kernels_cached += 1
+    else:
+        if context.include_compile:
+            # The NVRTC startup base is charged once per query, on the
+            # first kernel compiled.
+            include_base = context.report.kernels_compiled == 0
+            context.report.compile_seconds += gpu_timing.compile_time(
+                [compiled.kernel], include_base=include_base
+            )
+        context.report.kernels_compiled += 1
+    inputs = {
+        name: batch.column(name).data for name in compiled.kernel.input_columns
+    }
+    sim = max(int(round(batch.simulated_rows)), 1)
+    run = gpu_executor.execute(
+        compiled.kernel, inputs, batch.rows, device=context.device, simulate_tuples=sim
+    )
+    context.report.kernel_seconds += run.timing.seconds
+    return run.result
+
+
+def _evaluate_predicate(column: Column, predicate: Comparison) -> np.ndarray:
+    """Evaluate ``column <op> literal`` to a boolean mask."""
+    op = predicate.op
+    literal = predicate.literal
+    column_type = column.column_type
+    if isinstance(column_type, DecimalType):
+        spec = column_type.spec
+        target = DecimalValue.from_literal(str(literal), spec).unscaled
+        values = np.array(column.unscaled(), dtype=object)
+        lhs = values
+        rhs = target
+    elif isinstance(column_type, DateType):
+        rhs = _parse_date(literal) if isinstance(literal, str) else int(literal)
+        lhs = column.data
+    elif isinstance(column_type, CharType):
+        # Stored CHAR values are space-padded to the declared width.
+        rhs = str(literal).ljust(column_type.width).encode()
+        lhs = column.data
+    else:
+        rhs = literal
+        lhs = column.data
+    if op == "=":
+        return lhs == rhs
+    if op == "<>":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise ExecutionError(f"unsupported comparison {op!r}")
+
+
+def _evaluate_column_predicate(left: Column, op: str, right: Column) -> np.ndarray:
+    """Evaluate ``left <op> right`` between two columns.
+
+    DECIMAL columns compare exactly with scale alignment (the comparison
+    operators of section III-A); other types compare on their raw values.
+    """
+    if isinstance(left.column_type, DecimalType) and isinstance(
+        right.column_type, DecimalType
+    ):
+        from repro.core.decimal import vectorized as _vz
+
+        order = _vz.compare(left.decimal_vector(), right.decimal_vector())
+        comparisons = {
+            "=": order == 0,
+            "<>": order != 0,
+            "<": order < 0,
+            "<=": order <= 0,
+            ">": order > 0,
+            ">=": order >= 0,
+        }
+        try:
+            return comparisons[op]
+        except KeyError:
+            raise ExecutionError(f"unsupported comparison {op!r}") from None
+    lhs, rhs = left.data, right.data
+    if op == "=":
+        return lhs == rhs
+    if op == "<>":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise ExecutionError(f"unsupported comparison {op!r}")
+
+
+def _parse_date(text: str) -> int:
+    """'YYYY-MM-DD' -> days since 1992-01-01 (the TPC-H epoch here)."""
+    import datetime
+
+    parsed = datetime.date.fromisoformat(text)
+    return (parsed - datetime.date(1992, 1, 1)).days
+
+
+def _grouping_key(column: Column) -> List:
+    if isinstance(column.column_type, DecimalType):
+        return column.unscaled()
+    if isinstance(column.column_type, CharType):
+        return [value.decode().rstrip() for value in column.data.tolist()]
+    return column.data.tolist()
+
+
+def _column_from_keys(name: str, values: List, template: Column) -> Column:
+    if isinstance(template.column_type, DecimalType):
+        return Column.decimal_from_unscaled(name, values, template.column_type.spec)
+    if isinstance(template.column_type, CharType):
+        return Column.chars(name, [str(v) for v in values], template.column_type.width)
+    if isinstance(template.column_type, DateType):
+        return Column.dates(name, values)
+    if isinstance(template.column_type, DoubleType):
+        return Column.doubles(name, values)
+    return Column.integers(name, values)
+
+
+def _sort_values(column: Column) -> List:
+    if isinstance(column.column_type, DecimalType):
+        return column.unscaled()
+    return column.data.tolist()

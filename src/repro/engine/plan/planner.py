@@ -1,0 +1,74 @@
+"""Logical -> physical plan conversion."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalHaving,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    build_logical_plan,
+)
+from repro.engine.plan.physical import (
+    AggregateOp,
+    FilterOp,
+    GroupAggregateOp,
+    HashJoinOp,
+    LimitOp,
+    PhysicalOp,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+)
+from repro.engine.sql.ast_nodes import Query
+from repro.errors import PlanningError
+
+
+def plan_query(
+    query: Query,
+    available_columns: List[str],
+    joined_columns=None,
+) -> List[PhysicalOp]:
+    """Build the physical operator chain for a parsed query."""
+    logical = build_logical_plan(query, available_columns, joined_columns)
+    chain: List[PhysicalOp] = []
+    node = logical
+    stack = []
+    while node is not None:
+        stack.append(node)
+        node = node.child
+    for logical_node in reversed(stack):
+        if isinstance(logical_node, LogicalScan):
+            chain.append(ScanOp(logical_node.columns))
+        elif isinstance(logical_node, LogicalJoin):
+            chain.append(HashJoinOp(logical_node.join, logical_node.right_columns))
+        elif isinstance(logical_node, LogicalFilter):
+            chain.append(FilterOp(logical_node.predicates))
+        elif isinstance(logical_node, LogicalAggregate):
+            if logical_node.group_by:
+                aggregates = [item for item in logical_node.aggregates if item.is_aggregate]
+                chain.append(GroupAggregateOp(logical_node.group_by, aggregates))
+            else:
+                if not all(item.is_aggregate for item in logical_node.aggregates):
+                    raise PlanningError(
+                        "mixing aggregates and bare expressions requires GROUP BY"
+                    )
+                chain.append(AggregateOp(logical_node.aggregates))
+        elif isinstance(logical_node, LogicalProject):
+            chain.append(ProjectOp(logical_node.items))
+        elif isinstance(logical_node, LogicalHaving):
+            chain.append(FilterOp(logical_node.predicates))
+        elif isinstance(logical_node, LogicalSort):
+            chain.append(SortOp(logical_node.keys))
+        elif isinstance(logical_node, LogicalLimit):
+            chain.append(LimitOp(logical_node.count))
+        else:
+            raise PlanningError(f"unknown logical node {type(logical_node).__name__}")
+    return chain

@@ -1,0 +1,188 @@
+"""The UltraPrecise database facade.
+
+:class:`Database` is the library's main entry point: register relations,
+execute SQL, get exact DECIMAL results plus a simulated-time report.
+
+    >>> from repro import Database
+    >>> db = Database(simulate_rows=10_000_000)
+    >>> db.register(relation)
+    >>> result = db.execute("SELECT c1 + c2 FROM R")
+    >>> result.report.total_seconds
+
+``simulate_rows`` decouples correctness from cost: the arithmetic runs over
+every registered row (bit-exactly), while the timing model charges the
+paper's 10-million-tuple relations.  Pass ``simulate_rows=None`` to charge
+the actual row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.decimal.value import DecimalValue
+from repro.core.jit.pipeline import JitOptions, KernelCache
+from repro.engine.executor import run_plan
+from repro.engine.plan.physical import Batch, ExecutionReport, QueryContext
+from repro.engine.plan.planner import plan_query
+from repro.engine.sql.ast_nodes import Query
+from repro.engine.sql.parser import parse_query
+from repro.errors import CatalogError
+from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.schema import CharType, DecimalType
+
+OutputValue = Union[DecimalValue, int, float, str]
+
+
+@dataclass
+class QueryResult:
+    """Rows + timing of one executed query."""
+
+    column_names: List[str]
+    rows: List[Tuple[OutputValue, ...]]
+    report: ExecutionReport
+    query: Query
+
+    @property
+    def scalar(self) -> OutputValue:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError("result is not scalar")
+        return self.rows[0][0]
+
+
+class Database:
+    """An embedded UltraPrecise instance over the simulated GPU."""
+
+    def __init__(
+        self,
+        simulate_rows: Optional[int] = None,
+        device: GpuDevice = DEFAULT_DEVICE,
+        host: HostSystem = DEFAULT_HOST,
+        jit_options: JitOptions = None,
+        aggregation_tpi: int = 8,
+    ):
+        self.catalog = Catalog()
+        self.device = device
+        self.host = host
+        self.simulate_rows = simulate_rows
+        self.jit_options = jit_options if jit_options is not None else JitOptions()
+        self.aggregation_tpi = aggregation_tpi
+        self.kernel_cache = KernelCache()
+
+    # ----------------------------------------------------------------- DDL
+
+    def register(self, relation: Relation, replace: bool = False) -> None:
+        """Register a relation for querying."""
+        self.catalog.register(relation, replace=replace)
+
+    def drop(self, name: str) -> None:
+        self.catalog.drop(name)
+
+    def create_table(self, name: str, schema, rows=(), replace: bool = False):
+        """Create and register a relation from host literals.
+
+        ``schema`` maps column names to type strings (``"DECIMAL(20, 4)"``,
+        ``"CHAR(8)"``, ``"INT"``, ``"DOUBLE"``, ``"DATE"``) or type
+        objects; ``rows`` are tuples of Python literals.
+        """
+        from repro.engine.ddl import build_relation
+
+        relation = build_relation(name, schema, rows)
+        self.register(relation, replace=replace)
+        return relation
+
+    # ----------------------------------------------------------------- DML
+
+    def execute(
+        self,
+        sql: str,
+        include_scan: bool = True,
+        include_transfer: bool = True,
+        include_compile: bool = True,
+        simulate_rows: Optional[int] = None,
+    ) -> QueryResult:
+        """Parse, plan, and execute a SELECT statement."""
+        query = parse_query(sql)
+        relation = self.catalog.get(query.table)
+        joined = {join.table: self.catalog.get(join.table) for join in query.joins}
+        sim = simulate_rows or self.simulate_rows or relation.rows
+        context = QueryContext(
+            relation=relation,
+            joined=joined,
+            simulate_rows=sim,
+            device=self.device,
+            host=self.host,
+            kernel_cache=self.kernel_cache,
+            jit_options=self.jit_options,
+            include_scan=include_scan,
+            include_transfer=include_transfer,
+            include_compile=include_compile,
+            tpi=self.aggregation_tpi,
+        )
+        chain = plan_query(
+            query,
+            relation.column_names,
+            {name: rel.column_names for name, rel in joined.items()},
+        )
+        batch = run_plan(chain, context)
+        return QueryResult(
+            column_names=self._output_names(query, batch),
+            rows=self._materialise(query, batch),
+            report=context.report,
+            query=query,
+        )
+
+    def explain(self, sql: str, simulate_rows: Optional[int] = None):
+        """Plan (but do not fully execute) a query; returns an ExplainResult.
+
+        Shows the operator chain, every kernel the JIT would generate (with
+        its optimised expression and the Listing-1-style source), and the
+        simulated cost estimates.
+        """
+        from repro.engine.explain import explain_query
+
+        query = parse_query(sql)
+        relation = self.catalog.get(query.table)
+        joined = {join.table: self.catalog.get(join.table) for join in query.joins}
+        sim = simulate_rows or self.simulate_rows or relation.rows
+        chain = plan_query(
+            query,
+            relation.column_names,
+            {name: rel.column_names for name, rel in joined.items()},
+        )
+        result = explain_query(
+            query, chain, relation, sim, self.jit_options, self.device, joined=joined
+        )
+        result.sql = sql.strip()
+        return result
+
+    # ------------------------------------------------------------ plumbing
+
+    def _output_names(self, query: Query, batch: Batch) -> List[str]:
+        names = []
+        for item in query.select_items:
+            name = item.name
+            if name in batch.columns:
+                names.append(name)
+            elif not item.is_aggregate and item.expression in batch.columns:
+                names.append(item.expression)
+        return names or list(batch.columns)
+
+    def _materialise(self, query: Query, batch: Batch) -> List[Tuple[OutputValue, ...]]:
+        names = self._output_names(query, batch)
+        columns = []
+        for name in names:
+            column = batch.columns[name]
+            if isinstance(column.column_type, DecimalType):
+                spec = column.column_type.spec
+                columns.append(
+                    [DecimalValue.from_unscaled_container(u, spec) for u in column.unscaled()]
+                )
+            elif isinstance(column.column_type, CharType):
+                columns.append([value.decode().rstrip() for value in column.data.tolist()])
+            else:
+                columns.append(column.data.tolist())
+        return list(zip(*columns)) if columns else []

@@ -1,0 +1,113 @@
+"""SQL AST for the query subset the paper's evaluation exercises.
+
+Queries are of the form::
+
+    SELECT item [, item ...]
+    FROM table
+    [WHERE col <op> literal [AND ...]]
+    [GROUP BY col [, col ...]]
+    [ORDER BY col [ASC|DESC] [, ...]]
+
+where an item is either an arithmetic expression over DECIMAL columns
+(handed to the JIT engine) or an aggregate call SUM/AVG/MIN/MAX/COUNT over
+such an expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+AGGREGATE_FUNCTIONS = ("SUM", "AVG", "MIN", "MAX", "COUNT")
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``SUM(expr)`` etc.; ``argument`` is expression text, or "*" for COUNT."""
+
+    function: str
+    argument: str
+
+    def __str__(self) -> str:
+        return f"{self.function}({self.argument})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: an expression or an aggregate, plus its alias."""
+
+    expression: Union[str, AggregateCall]
+    alias: Optional[str] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.expression, AggregateCall)
+
+    @property
+    def name(self) -> str:
+        if self.alias:
+            return self.alias
+        return str(self.expression)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A WHERE/HAVING conjunct: ``column <op> literal`` or ``column <op> column``.
+
+    When ``column_rhs`` is set the comparison is between two columns and
+    ``literal`` is ignored.
+    """
+
+    column: str
+    op: str
+    literal: Union[int, float, str, None] = None
+    column_rhs: Optional[str] = None
+
+    def __str__(self) -> str:
+        literal = f"'{self.literal}'" if isinstance(self.literal, str) else self.literal
+        return f"{self.column} {self.op} {literal}"
+
+
+@dataclass(frozen=True)
+class Join:
+    """An inner equi-join: ``JOIN <table> ON <left_col> = <right_col>``."""
+
+    table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ORDER BY key."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass
+class Query:
+    """A parsed SELECT statement."""
+
+    select_items: List[SelectItem]
+    table: str
+    joins: List[Join] = field(default_factory=list)
+    where: List[Comparison] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+    having: List[Comparison] = field(default_factory=list)
+    order_by: List[OrderKey] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate for item in self.select_items)
+
+    @property
+    def aggregates(self) -> List[SelectItem]:
+        return [item for item in self.select_items if item.is_aggregate]
+
+    @property
+    def projections(self) -> List[SelectItem]:
+        return [item for item in self.select_items if not item.is_aggregate]

@@ -1,0 +1,299 @@
+"""Parser for the SQL subset (see ``ast_nodes`` for the grammar)."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.engine.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    COMPARISON_OPS,
+    AggregateCall,
+    Comparison,
+    Join,
+    OrderKey,
+    Query,
+    SelectItem,
+)
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'[^']*')"
+    r"|(?P<number>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><>|<=|>=|[=<>])"
+    r"|(?P<punct>[(),;*%+\-/])"
+    r")"
+)
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "AND",
+    "AS",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "JOIN",
+    "ON",
+    "HAVING",
+}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if not match or match.end() == position:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise ParseError(f"unexpected character in SQL: {remainder[0]!r}")
+            for kind in ("string", "number", "ident", "op", "punct"):
+                value = match.group(kind)
+                if value is not None:
+                    self.items.append((kind, value))
+                    break
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of SQL: {self.text!r}")
+        self.index += 1
+        return token
+
+    def is_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return bool(token and token[0] == "ident" and token[1].upper() == word)
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.is_keyword(word):
+            token = self.peek()
+            raise ParseError(f"expected {word}, got {token[1] if token else 'end of input'!r}")
+        self.advance()
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a SELECT statement into a :class:`Query`."""
+    tokens = _Tokens(sql.strip().rstrip(";"))
+    tokens.expect_keyword("SELECT")
+    select_items = _parse_select_list(tokens)
+    tokens.expect_keyword("FROM")
+    kind, table = tokens.advance()
+    if kind != "ident":
+        raise ParseError(f"expected table name, got {table!r}")
+
+    joins: List[Join] = []
+    where: List[Comparison] = []
+    group_by: List[str] = []
+    having: List[Comparison] = []
+    order_by: List[OrderKey] = []
+    limit = None
+    while tokens.peek() is not None:
+        if tokens.is_keyword("JOIN"):
+            tokens.advance()
+            joins.append(_parse_join(tokens))
+        elif tokens.is_keyword("WHERE"):
+            tokens.advance()
+            where = _parse_where(tokens)
+        elif tokens.is_keyword("GROUP"):
+            tokens.advance()
+            tokens.expect_keyword("BY")
+            group_by = _parse_column_list(tokens)
+        elif tokens.is_keyword("HAVING"):
+            tokens.advance()
+            having = _parse_where(tokens)
+        elif tokens.is_keyword("ORDER"):
+            tokens.advance()
+            tokens.expect_keyword("BY")
+            order_by = _parse_order_list(tokens)
+        elif tokens.is_keyword("LIMIT"):
+            tokens.advance()
+            kind, count = tokens.advance()
+            if kind != "number" or "." in count:
+                raise ParseError(f"LIMIT needs an integer, got {count!r}")
+            limit = int(count)
+        else:
+            token = tokens.peek()
+            raise ParseError(f"unexpected token {token[1]!r} after FROM clause")
+    return Query(
+        select_items=select_items,
+        table=table,
+        joins=joins,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def _parse_select_list(tokens: _Tokens) -> List[SelectItem]:
+    items = [_parse_select_item(tokens)]
+    while tokens.peek() == ("punct", ","):
+        tokens.advance()
+        items.append(_parse_select_item(tokens))
+    return items
+
+
+def _parse_select_item(tokens: _Tokens) -> SelectItem:
+    token = tokens.peek()
+    if token and token[0] == "ident" and token[1].upper() in AGGREGATE_FUNCTIONS:
+        following = tokens.items[tokens.index + 1 : tokens.index + 2]
+        if following == [("punct", "(")]:
+            function = tokens.advance()[1].upper()
+            tokens.advance()  # (
+            argument = _capture_until_close_paren(tokens)
+            alias = _parse_alias(tokens)
+            return SelectItem(AggregateCall(function, argument), alias)
+    expression = _capture_expression(tokens)
+    alias = _parse_alias(tokens)
+    return SelectItem(expression, alias)
+
+
+def _parse_alias(tokens: _Tokens) -> Optional[str]:
+    if tokens.is_keyword("AS"):
+        tokens.advance()
+        kind, alias = tokens.advance()
+        if kind != "ident":
+            raise ParseError(f"expected alias name, got {alias!r}")
+        return alias
+    return None
+
+
+def _capture_until_close_paren(tokens: _Tokens) -> str:
+    """Capture raw text until the matching ')' (aggregate arguments)."""
+    parts: List[str] = []
+    depth = 1
+    while True:
+        kind, text = tokens.advance()
+        if text == "(":
+            depth += 1
+        elif text == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        parts.append(text)
+    argument = " ".join(parts).strip()
+    if not argument:
+        raise ParseError("empty aggregate argument")
+    return argument
+
+
+_EXPRESSION_TOKENS = {"+", "-", "*", "/", "%", "(", ")"}
+
+
+def _capture_expression(tokens: _Tokens) -> str:
+    """Capture a bare (non-aggregate) expression up to ',' / FROM / end."""
+    parts: List[str] = []
+    depth = 0
+    while True:
+        token = tokens.peek()
+        if token is None:
+            break
+        kind, text = token
+        if depth == 0 and (
+            (kind == "punct" and text == ",")
+            or (kind == "ident" and text.upper() in _KEYWORDS)
+        ):
+            break
+        if text == "(":
+            depth += 1
+        elif text == ")":
+            if depth == 0:
+                break
+            depth -= 1
+        tokens.advance()
+        parts.append(text)
+    expression = " ".join(parts).strip()
+    if not expression:
+        raise ParseError("empty select expression")
+    return expression
+
+
+def _parse_join(tokens: _Tokens) -> Join:
+    kind, table = tokens.advance()
+    if kind != "ident":
+        raise ParseError(f"expected table name after JOIN, got {table!r}")
+    tokens.expect_keyword("ON")
+    kind, left = tokens.advance()
+    if kind != "ident":
+        raise ParseError(f"expected column name in ON, got {left!r}")
+    kind, op = tokens.advance()
+    if op != "=":
+        raise ParseError(f"only equi-joins are supported, got {op!r}")
+    kind, right = tokens.advance()
+    if kind != "ident":
+        raise ParseError(f"expected column name in ON, got {right!r}")
+    return Join(table=table, left_column=left, right_column=right)
+
+
+def _parse_where(tokens: _Tokens) -> List[Comparison]:
+    conjuncts = [_parse_comparison(tokens)]
+    while tokens.is_keyword("AND"):
+        tokens.advance()
+        conjuncts.append(_parse_comparison(tokens))
+    return conjuncts
+
+
+def _parse_comparison(tokens: _Tokens) -> Comparison:
+    kind, column = tokens.advance()
+    if kind != "ident":
+        raise ParseError(f"expected column name in WHERE, got {column!r}")
+    kind, op = tokens.advance()
+    if op not in COMPARISON_OPS:
+        raise ParseError(f"expected comparison operator, got {op!r}")
+    kind, literal = tokens.advance()
+    if kind == "string":
+        return Comparison(column, op, literal[1:-1])
+    if kind == "number":
+        value: Union[int, float] = float(literal) if "." in literal else int(literal)
+        return Comparison(column, op, value)
+    if kind == "ident":
+        return Comparison(column, op, None, column_rhs=literal)
+    raise ParseError(f"expected literal or column in comparison, got {literal!r}")
+
+
+def _parse_column_list(tokens: _Tokens) -> List[str]:
+    columns = []
+    while True:
+        kind, name = tokens.advance()
+        if kind != "ident":
+            raise ParseError(f"expected column name, got {name!r}")
+        columns.append(name)
+        if tokens.peek() == ("punct", ","):
+            tokens.advance()
+            continue
+        return columns
+
+
+def _parse_order_list(tokens: _Tokens) -> List[OrderKey]:
+    keys = []
+    while True:
+        kind, name = tokens.advance()
+        if kind != "ident":
+            raise ParseError(f"expected column name, got {name!r}")
+        ascending = True
+        if tokens.is_keyword("ASC"):
+            tokens.advance()
+        elif tokens.is_keyword("DESC"):
+            tokens.advance()
+            ascending = False
+        keys.append(OrderKey(name, ascending))
+        if tokens.peek() == ("punct", ","):
+            tokens.advance()
+            continue
+        return keys

@@ -1,0 +1,37 @@
+"""SIMT GPU simulator: device model, PTX costing, executor, profiler.
+
+This package substitutes for the RTX A6000 the paper evaluates on.  The
+data plane executes kernel IR bit-exactly with vectorised decimal
+arithmetic; the control plane prices each launch with a roofline model
+(PTX issue cycles vs compact-representation memory traffic), plus PCIe,
+JIT-compilation and disk-scan terms for query-level timing.
+"""
+
+from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
+from repro.gpusim.executor import KernelRun, execute
+from repro.gpusim.occupancy import Occupancy
+from repro.gpusim.profiler import KernelProfile, profile_kernel
+from repro.gpusim.timing import (
+    KernelTiming,
+    compile_time,
+    disk_scan_time,
+    kernel_time,
+    pcie_time,
+)
+
+__all__ = [
+    "DEFAULT_DEVICE",
+    "DEFAULT_HOST",
+    "GpuDevice",
+    "HostSystem",
+    "KernelProfile",
+    "KernelRun",
+    "KernelTiming",
+    "Occupancy",
+    "compile_time",
+    "disk_scan_time",
+    "execute",
+    "kernel_time",
+    "pcie_time",
+    "profile_kernel",
+]

@@ -1,0 +1,78 @@
+"""GPU device model (an NVIDIA RTX A6000-like part, paper section IV).
+
+The evaluation machine pairs two Xeon Gold 6130H CPUs with an RTX A6000
+(48 GB GDDR6, PCIe 4.0) running CUDA 11.6.  The simulator only needs the
+first-order resources the paper's results hinge on: SM count and clock,
+per-SM thread/register/shared-memory limits, DRAM and PCIe bandwidths, and
+a handful of efficiency knobs calibrated against the paper's measured
+kernel times (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Static description of the simulated GPU."""
+
+    name: str = "RTX A6000 (simulated)"
+    sm_count: int = 84
+    clock_hz: float = 1.41e9
+    #: Integer-ALU lanes per SM that retire one 32-bit op per cycle.
+    int_lanes_per_sm: int = 64
+    max_threads_per_sm: int = 1536
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 65536
+    shared_memory_per_block: int = 100 * 1024  # bytes (A6000: up to 100 KB)
+    warp_size: int = 32
+
+    #: GDDR6 peak bandwidth (bytes/s).
+    dram_bandwidth: float = 768e9
+    #: Fraction of peak DRAM bandwidth a fully-occupied, coalesced kernel
+    #: sustains (calibrated).
+    dram_efficiency: float = 0.55
+    #: PCIe 4.0 x16 effective host<->device bandwidth (bytes/s).
+    pcie_bandwidth: float = 22e9
+    #: Fixed cost of one kernel launch (s).
+    kernel_launch_overhead: float = 8e-6
+    #: Fixed cost of one PCIe transfer (s).
+    pcie_latency: float = 15e-6
+
+    #: Extra 32-bit registers every thread uses beyond decimal value words
+    #: (loop counters, pointers, the sign bytes).
+    register_overhead: int = 8
+    #: Fraction of a kernel's decimal value words that actually live in
+    #: registers at once (the compiler reuses and spills the rest).
+    register_pressure_factor: float = 0.75
+    #: Occupancy below which memory latency stops being hidden; effective
+    #: bandwidth scales with occupancy / this knee.
+    latency_hiding_knee: float = 1.0
+
+    @property
+    def int_throughput(self) -> float:
+        """32-bit integer operations retired per second, device-wide."""
+        return self.sm_count * self.int_lanes_per_sm * self.clock_hz
+
+
+@dataclass(frozen=True)
+class HostSystem:
+    """The host side of the evaluation machine (disk + DRAM)."""
+
+    name: str = "2x Xeon Gold 6130H (simulated)"
+    cores: int = 32
+    clock_hz: float = 2.1e9
+    dram_bandwidth: float = 100e9
+    #: Effective table-scan rate from the mirrored SSDs through the storage
+    #: layer.  Calibrated from Figure 8: UltraPrecise's LEN=2 Query 1 total
+    #: (714 ms) minus compile/pipeline/PCIe/kernel terms leaves ~160 ms for a
+    #: 0.21 GB scan.
+    ssd_bandwidth: float = 1.3e9
+
+
+#: The default device every benchmark uses.
+DEFAULT_DEVICE = GpuDevice()
+
+#: The default host system.
+DEFAULT_HOST = HostSystem()

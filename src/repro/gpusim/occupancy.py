@@ -1,0 +1,67 @@
+"""Occupancy model: registers per thread -> warps per SM.
+
+Section IV-A's Nsight profile shows exactly the effect modelled here: the
+LEN=8 addition kernel runs at 100% warp occupancy, but at LEN=32 "more
+registers are required by a thread and the warp occupancy becomes 50%"
+(33% for multiplication, which needs accumulator scratch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.jit import ir
+from repro.gpusim.device import GpuDevice
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy of one kernel on one device."""
+
+    registers_per_thread: int
+    threads_per_sm: int
+    occupancy: float  # 0..1 fraction of max resident threads
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.occupancy
+
+
+def scratch_words(kernel: ir.KernelIR) -> int:
+    """Extra value words of scratch the widest instruction needs.
+
+    Multiplication keeps a double-width accumulator; division keeps the
+    probe product and the shifted dividend.
+    """
+    extra = 0
+    for instruction in kernel.instructions:
+        if isinstance(instruction, ir.MulOp):
+            # Schoolbook accumulates into a double-width product before
+            # truncation, plus 64-bit split halves.
+            extra = max(extra, 2 * instruction.spec.words)
+        elif isinstance(instruction, (ir.DivOp, ir.ModOp)):
+            extra = max(extra, 2 * instruction.spec.words)
+    return extra
+
+
+def registers_per_thread(kernel: ir.KernelIR, device: GpuDevice) -> int:
+    """32-bit registers one thread of this kernel needs."""
+    value_words = kernel.register_words + scratch_words(kernel)
+    per_thread_words = -(-value_words // kernel.tpi)
+    scaled = device.register_pressure_factor * per_thread_words
+    return device.register_overhead + int(-(-scaled // 1))
+
+
+def compute(kernel: ir.KernelIR, device: GpuDevice) -> Occupancy:
+    """Occupancy for a kernel, limited by register file capacity."""
+    registers = registers_per_thread(kernel, device)
+    by_registers = device.registers_per_sm // max(registers, 1)
+    threads = min(device.max_threads_per_sm, by_registers)
+    # Threads are resident in whole warps.
+    threads = (threads // device.warp_size) * device.warp_size
+    threads = max(threads, device.warp_size)
+    return Occupancy(
+        registers_per_thread=registers,
+        threads_per_sm=threads,
+        occupancy=threads / device.max_threads_per_sm,
+    )

@@ -1,0 +1,176 @@
+"""PTX-level instruction accounting (paper section III-C).
+
+The generated kernels accelerate multi-word arithmetic with PTX sequences:
+``add.cc.u32``/``addc.cc.u32`` carry chains for addition, ``mad`` chains for
+multiplication, ``bfind`` + binary-search multiplies for division, and
+``div.u64``/``div.u32`` fast paths.  This module maps each kernel IR
+instruction to the PTX instructions it expands into, so the timing model can
+charge cycles exactly where the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.jit import ir
+
+#: Issue cost, in cycles per instruction per thread, of each PTX class.
+#: These are throughput costs on Ampere-class integer pipes.
+PTX_CYCLES: Dict[str, float] = {
+    "add.cc.u32": 1.0,
+    "addc.cc.u32": 1.0,
+    "sub.cc.u32": 1.0,
+    "subc.cc.u32": 1.0,
+    "mad.lo.u32": 2.0,
+    "mad.hi.u32": 2.0,
+    "mul.lo.u32": 2.0,
+    "div.u64": 20.0,
+    "div.u32": 12.0,
+    "bfind.u32": 1.0,
+    "setp": 1.0,  # predicates/comparisons
+    "mov": 0.5,
+    "ld.global": 2.0,  # issue cost; DRAM time is modelled separately
+    "st.global": 2.0,
+    "shfl.sync": 2.0,  # inter-thread exchange within a TPI group
+    "cvt": 1.0,
+}
+
+
+@dataclass
+class PtxCounts:
+    """PTX instruction counts for one tuple's worth of kernel work."""
+
+    counts: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, instruction: str, count: float = 1.0) -> None:
+        self.counts[instruction] = self.counts.get(instruction, 0.0) + count
+
+    def merge(self, other: "PtxCounts") -> None:
+        for instruction, count in other.counts.items():
+            self.add(instruction, count)
+
+    @property
+    def cycles(self) -> float:
+        """Total issue cycles for these counts."""
+        return sum(PTX_CYCLES[name] * count for name, count in self.counts.items())
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+
+def expand(instruction: ir.Instruction) -> PtxCounts:
+    """PTX expansion of one kernel IR instruction (per tuple)."""
+    counts = PtxCounts()
+    spec = instruction.spec
+    lw = spec.words
+
+    if isinstance(instruction, ir.LoadColumn):
+        # Load Lb compact bytes as word loads, expand to Lw words + sign.
+        word_loads = -(-spec.compact_bytes // 4)
+        counts.add("ld.global", word_loads)
+        counts.add("mov", lw)  # expansion into the register array
+        counts.add("setp", 1)  # sign-bit extraction
+    elif isinstance(instruction, ir.LoadConst):
+        if instruction.runtime_convert:
+            # Per-tuple conversion: digit loop of mul-by-10 + add.
+            digits = spec.precision
+            counts.add("mad.lo.u32", digits * max(1, lw // 2))
+            counts.add("add.cc.u32", digits)
+            counts.add("mov", lw)
+        else:
+            counts.add("mov", lw)  # immediate moves only
+    elif isinstance(instruction, ir.Align):
+        counts.merge(align_counts_at_width(instruction.exponent, lw))
+    elif isinstance(instruction, (ir.AddOp, ir.SubOp)):
+        # Listing 2: one add.cc + (Lw-1) addc, plus sign handling: the signs
+        # are examined and, mixed-sign, a magnitude compare picks the
+        # minuend (section II-B).
+        chain = "add" if isinstance(instruction, ir.AddOp) else "sub"
+        counts.add(f"{chain}.cc.u32", 1)
+        counts.add(f"{chain}c.cc.u32", max(lw - 1, 0))
+        counts.add("setp", 2 + lw / 2)  # sign tests + expected compare depth
+        counts.add("mov", 2)
+    elif isinstance(instruction, ir.NegOp):
+        counts.add("mov", 1)
+    elif isinstance(instruction, ir.MulOp):
+        counts.merge(_mul_counts(instruction))
+    elif isinstance(instruction, (ir.DivOp, ir.ModOp)):
+        counts.merge(_div_counts(instruction))
+    elif isinstance(instruction, ir.AbsOp):
+        counts.add("mov", 1)  # clear the sign byte
+    elif isinstance(instruction, ir.SignOp):
+        counts.add("setp", 2)  # zero test + sign test
+        counts.add("mov", 1)
+    elif isinstance(instruction, ir.RescaleOp):
+        # Scale reduction: short division by 10^k, word by word, plus the
+        # rounding decision on the remainder.
+        counts.add("div.u32", lw)
+        counts.add("setp", 2)
+        counts.add("add.cc.u32", 1)
+    elif isinstance(instruction, ir.StoreResult):
+        word_stores = -(-spec.compact_bytes // 4)
+        counts.add("st.global", word_stores)
+        counts.add("mov", lw)
+        counts.add("setp", 1)  # sign packing
+    return counts
+
+
+def align_counts_at_width(exponent: int, lw: int) -> PtxCounts:
+    """Alignment multiply ``x10^exponent``.
+
+    The generated code implements ``<< n`` with the generic ``Decimal<N>``
+    multiplication template (Listing 1), so an alignment costs a full
+    schoolbook pass over the register array -- exactly why the paper calls
+    alignments expensive enough to schedule away (section III-D1).
+    """
+    counts = PtxCounts()
+    if exponent == 0:
+        return counts
+    partials = max(1, lw // 2) ** 2
+    counts.add("mad.lo.u32", partials)
+    counts.add("mad.hi.u32", partials)
+    counts.add("addc.cc.u32", 2 * partials)
+    return counts
+
+
+def _mul_counts(instruction: ir.MulOp) -> PtxCounts:
+    """Schoolbook product: La*Lb lo/hi mads plus carry accumulation."""
+    counts = PtxCounts()
+    out_words = instruction.spec.words
+    # Operand widths are bounded by the output width; the schoolbook loop
+    # runs over the operand word arrays.
+    half = max(1, out_words // 2)
+    partials = half * half
+    counts.add("mad.lo.u32", partials)
+    counts.add("mad.hi.u32", partials)
+    counts.add("addc.cc.u32", 2 * partials)
+    counts.add("setp", 1)  # sign
+    return counts
+
+
+def _div_counts(instruction) -> PtxCounts:
+    """Division per section III-C2, including both fast paths.
+
+    * both operands <= 64 bits: one ``div.u64``;
+    * divisor one word: Lw ``div.u32`` steps;
+    * otherwise ``bfind`` + binary search: ~bits(quotient) iterations, each
+      one multi-word multiply + compare.
+    """
+    counts = PtxCounts()
+    out_words = instruction.spec.words
+    dividend_words = out_words  # after prescale the dividend fills the container
+    counts.add("bfind.u32", 2 * dividend_words)
+    if dividend_words <= 2:
+        counts.add("div.u64", 1)
+        counts.add("mad.lo.u32", 2)  # remainder/back-multiply
+        return counts
+    # Binary search over the quotient range: iterations ~ quotient bits.
+    iterations = 32.0 * dividend_words * 0.75  # expected range width
+    mul_per_probe = max(1, dividend_words // 2) ** 2
+    counts.add("mad.lo.u32", iterations * mul_per_probe)
+    counts.add("mad.hi.u32", iterations * mul_per_probe)
+    counts.add("setp", iterations * dividend_words / 2)
+    return counts

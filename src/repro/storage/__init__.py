@@ -1,0 +1,33 @@
+"""Columnar storage: schemas, relations, generators, FOR compression."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.compression import ForColumn, compress
+from repro.storage.persist import load_relation, save_relation
+from repro.storage.relation import Relation
+from repro.storage.schema import (
+    CharType,
+    ColumnType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    IntType,
+    is_decimal,
+)
+
+__all__ = [
+    "Catalog",
+    "CharType",
+    "Column",
+    "ColumnType",
+    "DateType",
+    "DecimalType",
+    "DoubleType",
+    "ForColumn",
+    "IntType",
+    "Relation",
+    "compress",
+    "load_relation",
+    "save_relation",
+    "is_decimal",
+]

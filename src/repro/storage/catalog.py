@@ -1,0 +1,40 @@
+"""A minimal catalog: named relations registered with the engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import CatalogError
+from repro.storage.relation import Relation
+
+
+class Catalog:
+    """Registry of relations available to queries."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+
+    def register(self, relation: Relation, replace: bool = False) -> None:
+        if relation.name in self._relations and not replace:
+            raise CatalogError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"relation {name!r} not found") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._relations:
+            raise CatalogError(f"relation {name!r} not found")
+        del self._relations[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)

@@ -1,0 +1,103 @@
+"""Columnar storage.
+
+Decimal columns hold their values in the *compact* byte-aligned layout of
+section III-B (an ``(N, Lb)`` uint8 matrix) -- exactly what the simulated
+kernels load and expand.  Other types use plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.vectorized import DecimalVector
+from repro.errors import SchemaError
+from repro.storage.schema import (
+    CharType,
+    ColumnType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    IntType,
+)
+
+
+@dataclass
+class Column:
+    """One named column of a relation."""
+
+    name: str
+    column_type: ColumnType
+    data: np.ndarray  # (N, Lb) uint8 for DECIMAL; (N,) otherwise
+
+    def __post_init__(self) -> None:
+        if isinstance(self.column_type, DecimalType):
+            expected = self.column_type.spec.compact_bytes
+            if self.data.ndim != 2 or self.data.shape[1] != expected:
+                raise SchemaError(
+                    f"decimal column {self.name!r} needs shape (N, {expected}), "
+                    f"got {self.data.shape}"
+                )
+
+    @property
+    def rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def bytes_stored(self) -> int:
+        """Bytes this column occupies on disk / in memory."""
+        return int(self.data.nbytes)
+
+    # ------------------------------------------------------------- decimals
+
+    @classmethod
+    def decimal_from_unscaled(
+        cls, name: str, values: Iterable[int], spec: DecimalSpec
+    ) -> "Column":
+        """Build a DECIMAL column from signed unscaled integers."""
+        vector = DecimalVector.from_unscaled(list(values), spec)
+        return cls(name, DecimalType(spec), vector.to_compact())
+
+    def decimal_vector(self) -> DecimalVector:
+        """Expand to register form (what a kernel's load phase does)."""
+        spec = self._decimal_spec()
+        return DecimalVector.from_compact(self.data, spec)
+
+    def unscaled(self) -> List[int]:
+        """Signed unscaled values (oracle interface)."""
+        return self.decimal_vector().to_unscaled()
+
+    def _decimal_spec(self) -> DecimalSpec:
+        if not isinstance(self.column_type, DecimalType):
+            raise SchemaError(f"column {self.name!r} is not DECIMAL")
+        return self.column_type.spec
+
+    # --------------------------------------------------------------- others
+
+    @classmethod
+    def doubles(cls, name: str, values: Sequence[float]) -> "Column":
+        return cls(name, DoubleType(), np.asarray(values, dtype=np.float64))
+
+    @classmethod
+    def integers(cls, name: str, values: Sequence[int]) -> "Column":
+        return cls(name, IntType(), np.asarray(values, dtype=np.int64))
+
+    @classmethod
+    def dates(cls, name: str, values: Sequence[int]) -> "Column":
+        return cls(name, DateType(), np.asarray(values, dtype=np.int32))
+
+    @classmethod
+    def chars(cls, name: str, values: Sequence[str], width: int) -> "Column":
+        data = np.asarray([v[:width].ljust(width) for v in values], dtype=f"S{width}")
+        return cls(name, CharType(width), data)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Row subset (selection vectors from filters)."""
+        return Column(self.name, self.column_type, self.data[indices])
+
+    def head(self, count: int) -> "Column":
+        """First ``count`` rows (benchmark sampling)."""
+        return Column(self.name, self.column_type, self.data[:count])

@@ -1,0 +1,129 @@
+"""Synthetic data generation for the paper's relations.
+
+The evaluation uses relations of 10 million tuples with randomly generated
+DECIMAL columns (section IV, "Workloads").  Generators here are seeded and
+parameterised by row count so benchmarks can run a sample while the timing
+model charges the full-size relation.
+
+Relation builders mirror the paper's experiments:
+
+* ``relation_r1`` -- three same-spec columns for Query 1 (Figure 8);
+* ``relation_r2`` -- eight columns, c1-c4 at DECIMAL(6,2), c5-c8 widening
+  (Query 2, Figure 9);
+* ``relation_r3`` -- one column for the aggregation Query 3 (Figure 14a);
+* ``relation_r4`` -- RSA message column (Query 4, Figure 14c);
+* ``relation_r5`` -- three DECIMAL(9,8) radian columns near 0.01 / pi/4 /
+  pi/2 (Query 5, Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.decimal.context import DecimalSpec
+from repro.storage.column import Column
+from repro.storage.relation import Relation
+
+DEFAULT_ROWS = 10_000_000
+
+
+def random_unscaled(
+    spec: DecimalSpec,
+    rows: int,
+    rng: np.random.Generator,
+    signed: bool = True,
+    full_digits: bool = False,
+) -> List[int]:
+    """Random unscaled integers fitting ``spec``.
+
+    ``full_digits`` draws magnitudes that use the full precision (with the
+    leading digit non-zero), which keeps divisors "normalised" so the
+    section III-B3 quotient rule holds.
+    """
+    bound = spec.max_unscaled
+    if full_digits and spec.precision > 1:
+        low = 10 ** (spec.precision - 1)
+    else:
+        low = 0
+    # Sample uniformly in [low, bound] using Python ints to avoid 64-bit
+    # truncation for wide precisions.
+    span = bound - low + 1
+    if span <= 0:
+        raise ValueError("empty magnitude range")
+    values: List[int] = []
+    # Draw enough 64-bit words to cover the span's bit width.
+    words_needed = max(1, (span.bit_length() + 62) // 63)
+    raw = rng.integers(0, 1 << 63, size=(rows, words_needed), dtype=np.int64)
+    for row in range(rows):
+        acc = 0
+        for word in raw[row]:
+            acc = (acc << 63) | int(word)
+        magnitude = low + acc % span
+        if signed and rng.random() < 0.5:
+            magnitude = -magnitude
+        values.append(magnitude)
+    return values
+
+
+def decimal_column(
+    name: str,
+    spec: DecimalSpec,
+    rows: int,
+    seed: int,
+    signed: bool = True,
+    full_digits: bool = False,
+) -> Column:
+    """A random DECIMAL column."""
+    rng = np.random.default_rng(seed)
+    return Column.decimal_from_unscaled(
+        name, random_unscaled(spec, rows, rng, signed=signed, full_digits=full_digits), spec
+    )
+
+
+def relation_r1(spec: DecimalSpec, rows: int = 20_000, seed: int = 1) -> Relation:
+    """Query 1's relation: three columns with identical precision and scale."""
+    return Relation(
+        "R1",
+        [decimal_column(f"c{i + 1}", spec, rows, seed + i) for i in range(3)],
+    )
+
+
+def relation_r2(wide_spec: DecimalSpec, rows: int = 20_000, seed: int = 2) -> Relation:
+    """Query 2's relation: c1-c4 DECIMAL(6,2); c5-c8 at the widening spec."""
+    narrow = DecimalSpec(6, 2)
+    columns = [decimal_column(f"c{i + 1}", narrow, rows, seed + i) for i in range(4)]
+    columns += [decimal_column(f"c{i + 5}", wide_spec, rows, seed + 10 + i) for i in range(4)]
+    return Relation("R2", columns)
+
+
+def relation_r3(spec: DecimalSpec, rows: int = 20_000, seed: int = 3) -> Relation:
+    """Query 3's relation: a single DECIMAL column to aggregate."""
+    return Relation("R3", [decimal_column("c1", spec, rows, seed)])
+
+
+def relation_r4(precision: int, rows: int = 20_000, seed: int = 4) -> Relation:
+    """Query 4's relation: RSA messages, scale 0, positive."""
+    spec = DecimalSpec(precision, 0)
+    return Relation(
+        "R4", [decimal_column("c1", spec, rows, seed, signed=False, full_digits=False)]
+    )
+
+
+def relation_r5(rows: int = 20_000, seed: int = 5) -> Relation:
+    """Query 5's relation: radians in DECIMAL(9, 8) near 0.01, pi/4, pi/2.
+
+    The columns follow N(0.01, 0.01^2), N(0.78, 0.01^2), N(1.56, 0.01^2)
+    as in section IV-D4.
+    """
+    spec = DecimalSpec(9, 8)
+    rng = np.random.default_rng(seed)
+    columns = []
+    for name, mean in (("c1", 0.01), ("c2", 0.78), ("c3", 1.56)):
+        radians = rng.normal(mean, 0.01, rows)
+        # Clamp into the representable range of DECIMAL(9, 8): |x| < 10.
+        radians = np.clip(radians, -9.99999999, 9.99999999)
+        unscaled = [int(round(value * 10**8)) for value in radians]
+        columns.append(Column.decimal_from_unscaled(name, unscaled, spec))
+    return Relation("R5", columns)

@@ -1,0 +1,80 @@
+"""Relations (tables) and their metadata.
+
+A relation is an ordered set of equal-length columns.  DECIMAL precision
+and scale live in the relation metadata, not with each value ("the
+precision and scale are contained in the metadata of the relation",
+section III-B) -- which is what lets the JIT engine bake them into kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.schema import DecimalType, is_decimal
+
+
+@dataclass
+class Relation:
+    """A named table of columns."""
+
+    name: str
+    columns: List[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        rows = {column.rows for column in self.columns}
+        if len(rows) > 1:
+            raise SchemaError(f"relation {self.name!r} has ragged columns: {rows}")
+
+    @property
+    def rows(self) -> int:
+        return self.columns[0].rows if self.columns else 0
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"relation {self.name!r} has no column {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def add(self, column: Column) -> None:
+        if column.name in self:
+            raise SchemaError(f"duplicate column {column.name!r} in {self.name!r}")
+        if self.columns and column.rows != self.rows:
+            raise SchemaError(
+                f"column {column.name!r} has {column.rows} rows, relation has {self.rows}"
+            )
+        self.columns.append(column)
+
+    def decimal_schema(self) -> Dict[str, DecimalSpec]:
+        """Column name -> DecimalSpec for every DECIMAL column.
+
+        This is the schema the JIT compilation pipeline consumes.
+        """
+        return {
+            column.name: column.column_type.spec
+            for column in self.columns
+            if is_decimal(column.column_type)
+        }
+
+    @property
+    def bytes_stored(self) -> int:
+        """Total stored bytes (the scan/transfer cost driver)."""
+        return sum(column.bytes_stored for column in self.columns)
+
+    def bytes_for(self, names) -> int:
+        """Stored bytes of a column subset (what a query actually moves)."""
+        return sum(self.column(name).bytes_stored for name in names)
+
+    def head(self, count: int) -> "Relation":
+        """First ``count`` rows of every column (benchmark sampling)."""
+        return Relation(self.name, [column.head(count) for column in self.columns])

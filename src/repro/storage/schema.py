@@ -1,0 +1,94 @@
+"""Column types for the storage layer.
+
+The reproduction needs DECIMAL (the star of the paper), DOUBLE (the fast
+but inexact comparison type of Figure 1), and the handful of scalar types
+TPC-H requires (integers, dates, chars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class DecimalType:
+    """A fixed-point ``DECIMAL(p, s)`` column type."""
+
+    spec: DecimalSpec
+
+    @classmethod
+    def of(cls, precision: int, scale: int) -> "DecimalType":
+        return cls(DecimalSpec(precision, scale))
+
+    @property
+    def bytes_per_value(self) -> int:
+        return self.spec.compact_bytes
+
+    def __str__(self) -> str:
+        return str(self.spec)
+
+
+@dataclass(frozen=True)
+class DoubleType:
+    """IEEE 754 binary64 -- fast, but cannot represent 0.1 exactly."""
+
+    @property
+    def bytes_per_value(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "DOUBLE"
+
+
+@dataclass(frozen=True)
+class IntType:
+    """64-bit integer."""
+
+    @property
+    def bytes_per_value(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "BIGINT"
+
+
+@dataclass(frozen=True)
+class DateType:
+    """Date stored as days since epoch."""
+
+    @property
+    def bytes_per_value(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return "DATE"
+
+
+@dataclass(frozen=True)
+class CharType:
+    """Fixed-width character data."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise SchemaError(f"CHAR width must be positive, got {self.width}")
+
+    @property
+    def bytes_per_value(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return f"CHAR({self.width})"
+
+
+ColumnType = Union[DecimalType, DoubleType, IntType, DateType, CharType]
+
+
+def is_decimal(column_type: ColumnType) -> bool:
+    """Whether a column type is DECIMAL."""
+    return isinstance(column_type, DecimalType)

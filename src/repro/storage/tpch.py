@@ -1,0 +1,192 @@
+"""TPC-H data generation (the slice the paper's evaluation needs).
+
+Figure 14(b) runs TPC-H Q1 with the DECIMAL columns widened so results fit
+2/4/8/16/32 words; Table I runs Q2-Q22 to show non-DECIMAL queries are
+unimpaired.  We generate a faithful ``lineitem`` (the columns Q1 touches,
+with TPC-H's value distributions) and encode per-query operator profiles
+for the Table I comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.decimal.context import DecimalSpec
+from repro.storage.column import Column
+from repro.storage.relation import Relation
+
+#: TPC-H Q1's original decimal spec for all four columns.
+ORIGINAL_SPEC = DecimalSpec(12, 2)
+
+#: Q1's date cutoff (1998-12-01 minus 90 days = 1998-09-02), in days since
+#: the 1992-01-01 epoch the generator uses.
+SHIPDATE_CUTOFF = 2436
+
+#: Extended precisions per LEN for l_quantity / l_extendedprice
+#: ("we extend the precision ... and guarantee that the results can be
+#: stored in the 32-bit word array with lengths of 2, 4, 8, 16, 32").
+#: The SUM aggregations add ceil(log10 N)=7 digits and the expression
+#: multiplies by two DECIMAL(3,2) factors, so the base precisions below
+#: keep the widest aggregate inside the target LEN.
+EXTENDED_PRECISION = {2: 8, 4: 25, 8: 60, 16: 135, 32: 285}
+
+
+def lineitem(
+    rows: int = 20_000,
+    seed: int = 7,
+    quantity_spec: Optional[DecimalSpec] = None,
+    price_spec: Optional[DecimalSpec] = None,
+) -> Relation:
+    """Generate the ``lineitem`` columns TPC-H Q1 reads.
+
+    Distributions follow the TPC-H spec: quantity uniform [1, 50], price
+    derived per part, discount [0.00, 0.10], tax [0.00, 0.08], returnflag
+    in {A, N, R}, linestatus in {O, F}, shipdate spread over ~7 years.
+    """
+    rng = np.random.default_rng(seed)
+    quantity_spec = quantity_spec or ORIGINAL_SPEC
+    price_spec = price_spec or ORIGINAL_SPEC
+
+    quantity = rng.integers(1, 51, rows)
+    quantity_unscaled = [int(q) * 10**quantity_spec.scale for q in quantity]
+
+    price = rng.integers(90000, 10500000, rows)  # cents: 900.00 .. 104999.99
+    price_unscaled = [int(p) * 10 ** (price_spec.scale - 2) for p in price]
+
+    discount = rng.integers(0, 11, rows)  # 0.00 .. 0.10
+    tax = rng.integers(0, 9, rows)  # 0.00 .. 0.08
+
+    returnflag = rng.choice(np.array(["A", "N", "R"]), rows)
+    linestatus = rng.choice(np.array(["O", "F"]), rows)
+    shipdate = rng.integers(0, 2526, rows)  # days since 1992-01-01
+
+    return Relation(
+        "lineitem",
+        [
+            Column.decimal_from_unscaled("l_quantity", quantity_unscaled, quantity_spec),
+            Column.decimal_from_unscaled("l_extendedprice", price_unscaled, price_spec),
+            Column.decimal_from_unscaled(
+                "l_discount", [int(d) for d in discount], DecimalSpec(3, 2)
+            ),
+            Column.decimal_from_unscaled("l_tax", [int(t) for t in tax], DecimalSpec(3, 2)),
+            Column.chars("l_returnflag", [str(x) for x in returnflag], 1),
+            Column.chars("l_linestatus", [str(x) for x in linestatus], 1),
+            Column.dates("l_shipdate", [int(d) for d in shipdate]),
+        ],
+    )
+
+
+def lineitem_for_len(length: int, rows: int = 20_000, seed: int = 7) -> Relation:
+    """Q1's relation at an extended precision (Figure 14(b)'s LEN axis)."""
+    precision = EXTENDED_PRECISION[length]
+    spec = DecimalSpec(precision, 2)
+    return lineitem(rows=rows, seed=seed, quantity_spec=spec, price_spec=spec)
+
+
+def orders(rows: int = 5_000, seed: int = 17, lineitem_orders: int = 5_000) -> Relation:
+    """The ``orders`` columns Q3-style join queries need.
+
+    Order keys are 1..lineitem_orders so they join against a lineitem
+    generated with the same key space.
+    """
+    rng = np.random.default_rng(seed)
+    keys = np.arange(1, rows + 1)
+    total = rng.integers(100000, 50000000, rows)  # cents
+    orderdate = rng.integers(0, 2526, rows)
+    priority = rng.choice(np.array(["1-URGENT", "3-MEDIUM", "5-LOW"]), rows)
+    custkey = rng.integers(1, max(rows // 10, 2), rows)
+    return Relation(
+        "orders",
+        [
+            Column.integers("o_orderkey", [int(k) for k in keys]),
+            Column.decimal_from_unscaled(
+                "o_totalprice", [int(t) for t in total], DecimalSpec(12, 2)
+            ),
+            Column.dates("o_orderdate", [int(d) for d in orderdate]),
+            Column.chars("o_orderpriority", [str(p) for p in priority], 10),
+            Column.integers("o_custkey", [int(c) for c in custkey]),
+        ],
+    )
+
+
+def customer(rows: int = 500, seed: int = 19) -> Relation:
+    """The ``customer`` columns Q3 needs."""
+    rng = np.random.default_rng(seed)
+    segments = rng.choice(
+        np.array(["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]), rows
+    )
+    return Relation(
+        "customer",
+        [
+            Column.integers("c_custkey", list(range(1, rows + 1))),
+            Column.chars("c_mktsegment", [str(s) for s in segments], 10),
+        ],
+    )
+
+
+def lineitem_with_orderkeys(rows: int = 5_000, seed: int = 7, order_count: int = 5_000) -> Relation:
+    """A lineitem including ``l_orderkey`` for join queries."""
+    relation = lineitem(rows=rows, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    keys = rng.integers(1, order_count + 1, rows)
+    relation.add(Column.integers("l_orderkey", [int(k) for k in keys]))
+    return relation
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Operator mix of one TPC-H query (the Table I substrate).
+
+    ``base_ms`` is the non-DECIMAL operator cost (joins, scans, sorts) the
+    two engines share -- taken from RateupDB's Table I column, since the
+    point of the experiment is that UltraPrecise leaves it unchanged.
+    ``decimal_expressions``/``decimal_aggregates`` pass through the JIT
+    engine; ``subquery_decimal_delivery`` marks the Q18/Q20 pattern whose
+    results cross a subquery boundary outside the JIT path.
+    """
+
+    name: str
+    base_ms: float
+    decimal_expressions: int = 0
+    decimal_aggregates: int = 0
+    subquery_decimal_delivery: bool = False
+
+
+#: Table I: RateupDB execution times (ms) and each query's decimal usage.
+TPCH_PROFILES: Dict[str, QueryProfile] = {
+    profile.name: profile
+    for profile in [
+        QueryProfile("Q2", 160, decimal_aggregates=1, subquery_decimal_delivery=False),
+        QueryProfile("Q3", 278, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q4", 68),
+        QueryProfile("Q5", 409, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q6", 71, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q7", 562, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q8", 301, decimal_expressions=2, decimal_aggregates=1),
+        QueryProfile("Q9", 612, decimal_expressions=2, decimal_aggregates=1),
+        QueryProfile("Q10", 490, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q11", 120, decimal_expressions=1, decimal_aggregates=2),
+        QueryProfile("Q12", 70),
+        QueryProfile("Q13", 106),
+        QueryProfile("Q14", 81, decimal_expressions=2, decimal_aggregates=2),
+        QueryProfile("Q15", 227, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q16", 97),
+        QueryProfile("Q17", 400, decimal_expressions=1, decimal_aggregates=2),
+        QueryProfile("Q18", 447, decimal_aggregates=2, subquery_decimal_delivery=True),
+        QueryProfile("Q19", 94, decimal_expressions=1, decimal_aggregates=1),
+        QueryProfile("Q20", 367, decimal_aggregates=1, subquery_decimal_delivery=True),
+        QueryProfile("Q21", 551),
+        QueryProfile("Q22", 42, decimal_aggregates=2),
+    ]
+}
+
+#: Table I's UltraPrecise row (ms), used as the reference for shape checks.
+TPCH_ULTRAPRECISE_PAPER_MS: Dict[str, float] = {
+    "Q2": 169, "Q3": 271, "Q4": 67, "Q5": 400, "Q6": 57, "Q7": 538,
+    "Q8": 314, "Q9": 614, "Q10": 503, "Q11": 136, "Q12": 67, "Q13": 100,
+    "Q14": 72, "Q15": 226, "Q16": 95, "Q17": 332, "Q18": 690, "Q19": 99,
+    "Q20": 476, "Q21": 586, "Q22": 46,
+}

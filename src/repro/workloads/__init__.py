@@ -1,0 +1,5 @@
+"""Workload builders for the paper's synthesized experiments."""
+
+from repro.workloads import figure1, rsa, tpch_queries, trig
+
+__all__ = ["figure1", "rsa", "tpch_queries", "trig"]

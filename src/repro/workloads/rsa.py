@@ -1,0 +1,131 @@
+"""RSA encryption in SQL (paper section IV-D3, Query 4 / Figure 14(c)).
+
+Encrypting a message ``X`` with key ``(e, N)`` computes ``X**e mod N``.
+With ``e = 3`` the paper expresses this as
+
+    SELECT c1 * c1 % N * c1 % N FROM R4;
+
+which left-associates to ``(((c1*c1) % N) * c1) % N = c1**3 mod N``.
+``N`` is the product of two primes whose size sets the key strength; the
+experiment uses message precisions 17/35/71/143 with moduli of precision
+18/36/72/144 so results land in 4/8/16/32 words... (the modulo result spec
+is ``(p2, 0)``, and LEN here tracks the modulus width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.decimal.context import DecimalSpec
+from repro.storage.datagen import relation_r4
+from repro.storage.relation import Relation
+
+#: Message precisions per the paper ("the precision of c1 is 17, 35, 71,
+#: and 143"), keyed by the experiment's LEN axis.
+MESSAGE_PRECISION = {4: 17, 8: 35, 16: 71, 32: 143}
+
+#: Modulus precisions ("(18, 0), (36, 0), (72, 0), and (144, 0)").
+MODULUS_PRECISION = {4: 18, 8: 36, 16: 72, 32: 144}
+
+#: The public exponent the paper uses.
+PUBLIC_EXPONENT = 3
+
+# Deterministic primes for key generation: we need N = p*q with a given
+# digit length.  Generated with a seeded Miller-Rabin search (no secrecy
+# needed -- this is a throughput benchmark).
+
+
+def _is_probable_prime(n: int, rounds: int = 24) -> bool:
+    """Deterministic-enough Miller-Rabin for benchmark key material."""
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = np.random.default_rng(0xC0FFEE)
+    for _ in range(rounds):
+        a = 2 + int(rng.integers(0, 1 << 62)) % (n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _next_prime(start: int) -> int:
+    candidate = start | 1
+    while not _is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def generate_modulus(precision: int, seed: int = 11) -> int:
+    """A modulus ``N = p * q`` with exactly ``precision`` digits.
+
+    ``p`` is drawn across the half-width decade; ``q`` is then targeted so
+    the product lands in the right decade, which converges in a couple of
+    attempts for any precision.
+    """
+    rng = np.random.default_rng(seed)
+    half = precision // 2
+    p_low, p_high = 10 ** (half - 1), 10**half - 1
+    while True:
+        p = _next_prime(p_low + int(rng.random() * (p_high - p_low)))
+        q_low = -(-(10 ** (precision - 1)) // p)
+        q_high = (10**precision - 1) // p
+        if q_high <= q_low:
+            continue
+        q = _next_prime(q_low + int(rng.random() * (q_high - q_low)))
+        modulus = p * q
+        if len(str(modulus)) == precision and p != q:
+            return modulus
+
+
+@dataclass
+class RsaWorkload:
+    """One RSA configuration: relation + key + query text."""
+
+    length: int  # the experiment's LEN axis
+    relation: Relation
+    modulus: int
+    modulus_spec: DecimalSpec
+
+    @property
+    def query(self) -> str:
+        return f"SELECT c1 * c1 % {self.modulus} * c1 % {self.modulus} FROM R4"
+
+    @property
+    def expression(self) -> str:
+        return f"c1 * c1 % {self.modulus} * c1 % {self.modulus}"
+
+    def oracle(self) -> List[int]:
+        """Ground-truth encryption via Python's modular exponentiation."""
+        messages = self.relation.column("c1").unscaled()
+        return [pow(message, PUBLIC_EXPONENT, self.modulus) for message in messages]
+
+
+def build_workload(length: int, rows: int = 5000, seed: int = 4) -> RsaWorkload:
+    """Build the Query 4 workload for one LEN configuration."""
+    precision = MESSAGE_PRECISION[length]
+    relation = relation_r4(precision, rows=rows, seed=seed)
+    modulus_precision = MODULUS_PRECISION[length]
+    modulus = generate_modulus(modulus_precision, seed=seed + length)
+    return RsaWorkload(
+        length=length,
+        relation=relation,
+        modulus=modulus,
+        modulus_spec=DecimalSpec(modulus_precision, 0),
+    )

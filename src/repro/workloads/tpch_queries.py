@@ -1,0 +1,105 @@
+"""TPC-H query workloads (section IV-D1/2, Figure 14(b), Table I).
+
+Q1 runs fully through the UltraPrecise engine (two JIT-compiled DECIMAL
+expressions + seven aggregations, grouped by returnflag/linestatus); the
+remaining queries are profile-driven (see ``repro.storage.tpch``): the
+Table I experiment only asserts that queries *without* DECIMAL hot paths
+run at parity, and that Q18/Q20's subquery DECIMAL delivery costs extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.storage.tpch import (
+    TPCH_PROFILES,
+    TPCH_ULTRAPRECISE_PAPER_MS,
+    QueryProfile,
+)
+
+#: TPC-H Q1, restricted to the SQL subset the engine parses.  The paper's
+#: version also computes sum_disc_price and sum_charge; aliases follow the
+#: TPC-H names.
+Q1_SQL = """
+SELECT
+    l_returnflag,
+    l_linestatus,
+    SUM(l_quantity) AS sum_qty,
+    SUM(l_extendedprice) AS sum_base_price,
+    SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+    SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+    AVG(l_quantity) AS avg_qty,
+    AVG(l_extendedprice) AS avg_price,
+    AVG(l_discount) AS avg_disc,
+    COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+#: TPC-H Q6: the forecasting-revenue-change query -- single table, a
+#: selective filter, one DECIMAL product aggregation.  Runs fully through
+#: the engine (dates as days since 1992-01-01: 1994-01-01 = 731).
+Q6_SQL = """
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '1994-01-01'
+  AND l_shipdate < '1995-01-01'
+  AND l_discount >= 0.05
+  AND l_discount <= 0.07
+  AND l_quantity < 24
+"""
+
+#: A Q3-style shipping-priority query: two joins, a DECIMAL expression
+#: aggregated per order, ordered by revenue.  (TPC-H Q3 restricted to the
+#: engine's subset: the date filters are kept, revenue is computed the
+#: same way.)
+Q3_SQL = """
+SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem
+JOIN orders ON l_orderkey = o_orderkey
+JOIN customer ON o_custkey = c_custkey
+WHERE c_mktsegment = 'BUILDING'
+  AND o_orderdate < '1995-03-15'
+GROUP BY o_orderkey
+ORDER BY revenue DESC
+LIMIT 10
+"""
+
+#: The per-query JIT cost UltraPrecise adds on queries with DECIMAL
+#: expressions (compile happens once; Table I queries are warm-cache in
+#: RateupDB, so the delta is small).
+_JIT_DELTA_MS = {"expressions": 4.0, "aggregates": 2.0}
+
+#: Extra cost when a subquery returns DECIMAL values outside the JIT path
+#: ("delivering results of subqueries to the outer query is not JIT-based
+#: and our efficient representation cannot be applied") -- Q18: +243 ms,
+#: Q20: +109 ms in the paper.
+_SUBQUERY_DELIVERY_FACTOR = 0.42
+
+
+def ultraprecise_tpch_ms(profile: QueryProfile) -> float:
+    """Modelled UltraPrecise time for one Table I query."""
+    time_ms = profile.base_ms
+    # DECIMAL hot paths get slightly faster (compact representation) ...
+    time_ms -= 1.5 * (profile.decimal_expressions + profile.decimal_aggregates)
+    # ... at a small JIT bookkeeping cost per compiled kernel.
+    time_ms += _JIT_DELTA_MS["expressions"] * profile.decimal_expressions * 0.5
+    time_ms += _JIT_DELTA_MS["aggregates"] * profile.decimal_aggregates * 0.5
+    if profile.subquery_decimal_delivery:
+        time_ms += profile.base_ms * _SUBQUERY_DELIVERY_FACTOR
+    return time_ms
+
+
+def table1_rows() -> Dict[str, Dict[str, float]]:
+    """RateupDB vs UltraPrecise rows for every Table I query."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, profile in TPCH_PROFILES.items():
+        rows[name] = {
+            "RateupDB": profile.base_ms,
+            "UltraPrecise": ultraprecise_tpch_ms(profile),
+            "UltraPrecise (paper)": TPCH_ULTRAPRECISE_PAPER_MS[name],
+        }
+    return rows

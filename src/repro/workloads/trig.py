@@ -1,0 +1,116 @@
+"""Trigonometric function approximation (section IV-D4, Query 5 / Fig. 15).
+
+``sin(x)`` is approximated by its Taylor series
+
+    x - x^3/3! + x^5/5! - x^7/7! + ...
+
+expressed directly in SQL over a DECIMAL(9, 8) radian column:
+
+    SELECT c1 - c1*c1*c1/6 + c1*c1*c1*c1*c1/120 FROM R5;
+
+The experiment sweeps the polynomial from 2 to 11 terms over inputs near
+0.01, pi/4 (0.78) and pi/2 (1.56), reporting execution time vs the mean
+absolute error against a high-precision oracle (the paper uses GMP; we use
+Python's arbitrary-precision ``decimal`` module, computing the ground
+truth to well over a hundred fractional digits).
+"""
+
+from __future__ import annotations
+
+import decimal
+from dataclasses import dataclass
+from fractions import Fraction
+from math import factorial
+from typing import Dict, List
+
+from repro.storage.datagen import relation_r5
+from repro.storage.relation import Relation
+
+#: Column per input regime: near 0 / near pi/4 / near pi/2.
+INPUT_COLUMNS = {"0.01": "c1", "0.78": "c2", "1.56": "c3"}
+
+#: Term counts the paper sweeps.
+TERM_RANGE = tuple(range(2, 12))
+
+
+def sine_expression(column: str, terms: int) -> str:
+    """The Query 5 polynomial with ``terms`` Taylor terms.
+
+    Term ``k`` (0-based) is ``(-1)^k * x^(2k+1) / (2k+1)!``, written as an
+    explicit product of column references so the JIT sees plain DECIMAL
+    arithmetic, exactly as the paper's SQL does.
+    """
+    if terms < 1:
+        raise ValueError("need at least one term")
+    parts: List[str] = []
+    for k in range(terms):
+        power = 2 * k + 1
+        product = "*".join([column] * power)
+        if k == 0:
+            parts.append(column)
+            continue
+        divisor = factorial(power)
+        sign = "-" if k % 2 else "+"
+        parts.append(f" {sign} {product}/{divisor}")
+    return "".join(parts)
+
+
+def sine_oracle(unscaled: int, scale: int = 8, digits: int = 120) -> Fraction:
+    """Ground-truth sin(x) for ``x = unscaled / 10**scale``.
+
+    Summation of the Taylor series in exact rational arithmetic until the
+    term magnitude drops below ``10**-digits`` -- this is the GMP stand-in,
+    exact to far beyond every system's output precision.
+    """
+    x = Fraction(unscaled, 10**scale)
+    total = Fraction(0)
+    term_index = 0
+    threshold = Fraction(1, 10**digits)
+    while True:
+        power = 2 * term_index + 1
+        term = x**power / factorial(power)
+        if abs(term) < threshold and term_index > 0:
+            break
+        total += term if term_index % 2 == 0 else -term
+        term_index += 1
+        if term_index > 200:
+            break
+    return total
+
+
+def truncated_series_oracle(unscaled: int, terms: int, scale: int = 8) -> Fraction:
+    """Exact value of the *truncated* series (separates the two error
+    sources: series truncation vs DECIMAL division underflow)."""
+    x = Fraction(unscaled, 10**scale)
+    total = Fraction(0)
+    for k in range(terms):
+        power = 2 * k + 1
+        term = x**power / factorial(power)
+        total += term if k % 2 == 0 else -term
+    return total
+
+
+def mean_absolute_error(results: List[Fraction], truths: List[Fraction]) -> float:
+    """MAE between computed decimals (as exact fractions) and the oracle."""
+    if len(results) != len(truths):
+        raise ValueError("length mismatch")
+    total = sum(abs(r - t) for r, t in zip(results, truths))
+    return float(total / len(results))
+
+
+@dataclass
+class TrigWorkload:
+    """One Figure 15 sweep: a relation plus a column/terms grid."""
+
+    relation: Relation
+
+    def query(self, column: str, terms: int) -> str:
+        return f"SELECT {sine_expression(column, terms)} FROM R5"
+
+    def oracle(self, column: str) -> List[Fraction]:
+        return [sine_oracle(u) for u in self.relation.column(column).unscaled()]
+
+
+def build_workload(rows: int = 2000, seed: int = 5) -> TrigWorkload:
+    """Build the Query 5 workload."""
+    return TrigWorkload(relation=relation_r5(rows=rows, seed=seed))

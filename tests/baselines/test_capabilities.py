@@ -1,0 +1,59 @@
+"""Tests for the Table II capability matrix."""
+
+import pytest
+
+from repro.baselines.capabilities import TABLE_II, capability, max_len_supported
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import CapabilityError
+
+
+class TestTableII:
+    def test_all_paper_systems_present(self):
+        expected = {
+            "PostgreSQL", "YugabyteDB", "H2", "PolarDB", "Greenplum",
+            "CockroachDB", "Vertica", "SparkSQL", "PrestoDB", "SQL Server",
+            "HEAVY.AI", "MonetDB", "RateupDB", "Hive", "Oracle", "MySQL",
+            "Google Spanner", "MongoDB",
+        }
+        assert expected <= set(TABLE_II)
+
+    def test_paper_limits(self):
+        assert capability("PostgreSQL").max_precision == 147_455
+        assert capability("PostgreSQL").max_scale == 16_383
+        assert capability("HEAVY.AI").max_precision == 18
+        assert capability("MySQL").max_precision == 65
+        assert capability("MySQL").max_scale == 30
+        assert capability("CockroachDB").max_precision is None
+        assert capability("RateupDB").max_precision == 36
+
+    def test_unknown_system(self):
+        with pytest.raises(CapabilityError):
+            capability("FooDB")
+
+    def test_boundaries(self):
+        heavyai = capability("HEAVY.AI")
+        assert heavyai.supports(DecimalSpec(18, 2))
+        assert not heavyai.supports(DecimalSpec(19, 2))
+
+    def test_scale_boundary(self):
+        spanner = capability("Google Spanner")
+        assert spanner.supports(DecimalSpec(38, 9))
+        assert not spanner.supports(DecimalSpec(38, 10))
+
+
+class TestWordCaps:
+    def test_max_len_matches_paper(self):
+        """Section IV-A: HEAVY.AI stops at LEN=2; MonetDB/RateupDB at LEN=4."""
+        assert max_len_supported("HEAVY.AI") == 2
+        assert max_len_supported("MonetDB") == 4
+        assert max_len_supported("RateupDB") == 4
+        assert max_len_supported("PostgreSQL") is None
+        assert max_len_supported("CockroachDB") is None
+        assert max_len_supported("UltraPrecise") is None
+
+    def test_intermediate_check_ignores_declared_precision(self):
+        """RateupDB runs LEN=4 results (p=38 > declared 36): word cap binds."""
+        rateup = capability("RateupDB")
+        assert rateup.supports_intermediate(DecimalSpec(38, 2))
+        assert not rateup.supports_intermediate(DecimalSpec(76, 2))
+        assert not rateup.supports(DecimalSpec(38, 2))  # declared check fails

@@ -1,0 +1,164 @@
+"""Tests for baseline engine models: exactness, semantics, cost shapes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import (
+    CockroachModel,
+    H2Model,
+    HeavyAiModel,
+    MonetDBModel,
+    PostgresModel,
+    RateupDBModel,
+    create,
+    names,
+    profile_expression,
+)
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import BaselineError, CapabilityError
+from repro.storage.datagen import decimal_column, relation_r1
+from repro.storage.relation import Relation
+
+SIM = 10_000_000
+
+
+@pytest.fixture(scope="module")
+def small_relation():
+    return relation_r1(DecimalSpec(16, 2), rows=300, seed=21)
+
+
+class TestRegistry:
+    def test_six_engines(self):
+        assert names() == [
+            "CockroachDB", "H2", "HEAVY.AI", "MonetDB", "PostgreSQL", "RateupDB"
+        ]
+
+    def test_create(self):
+        assert isinstance(create("PostgreSQL"), PostgresModel)
+
+    def test_unknown(self):
+        with pytest.raises(BaselineError):
+            create("FooDB")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name", ["PostgreSQL", "MonetDB", "CockroachDB", "H2"])
+    def test_projection_exact(self, name, small_relation):
+        engine = create(name)
+        result = engine.run_projection(small_relation, "c1 + c2 * 2 - c3", simulate_rows=SIM)
+        c1 = small_relation.column("c1").unscaled()
+        c2 = small_relation.column("c2").unscaled()
+        c3 = small_relation.column("c3").unscaled()
+        expected = [a + 2 * b - c for a, b, c in zip(c1, c2, c3)]
+        assert [v.unscaled for v in result.values] == expected
+
+    def test_sum_exact(self, small_relation):
+        engine = create("PostgreSQL")
+        result = engine.run_sum(small_relation, "c1", simulate_rows=SIM)
+        assert result.scalar.unscaled == sum(small_relation.column("c1").unscaled())
+
+    def test_capability_failures(self):
+        wide = relation_r1(DecimalSpec(74, 2), rows=10, seed=3)  # LEN=8 columns
+        for name in ("HEAVY.AI", "MonetDB", "RateupDB"):
+            with pytest.raises(CapabilityError):
+                create(name).run_projection(wide, "c1 + c2 + c3")
+
+    def test_heavyai_no_modulo(self):
+        with pytest.raises(CapabilityError):
+            HeavyAiModel().run_modulo_query()
+
+
+class TestDoubleMode:
+    def test_double_is_inexact_but_fast(self, small_relation):
+        engine = create("PostgreSQL")
+        double = engine.run_sum_double(small_relation, "c1 + c2", simulate_rows=SIM)
+        exact = engine.run_sum(small_relation, "c1 + c2", simulate_rows=SIM)
+        assert double.seconds < exact.seconds
+        exact_fraction = Fraction(*exact.scalar.to_fraction_parts())
+        assert Fraction(double.scalar) != exact_fraction  # Figure 1's point
+
+    def test_engines_disagree_on_double(self):
+        """Figure 1: PG and CockroachDB return different wrong answers."""
+        relation = relation_r1(DecimalSpec(17, 5), rows=4000, seed=42)
+        pg = create("PostgreSQL").run_sum_double(relation, "c1 + c2")
+        crdb = create("CockroachDB").run_sum_double(relation, "c1 + c2")
+        assert pg.scalar != crdb.scalar
+
+
+class TestH2Division:
+    def test_twenty_extra_digits(self):
+        """H2 divisions carry 20 extra fractional digits (section IV-D4)."""
+        spec = DecimalSpec(9, 8)
+        relation = Relation("t", [decimal_column("x", spec, 10, seed=5, signed=False)])
+        h2 = H2Model()
+        pg = PostgresModel()
+        h2_result = h2.run_projection(relation, "x / 7")
+        pg_result = pg.run_projection(relation, "x / 7")
+        # H2: scale = s1 + 20; the standard rule gives s1 + 4.
+        assert h2_result.values[0].spec.scale == pg_result.values[0].spec.scale + 20 - 4
+        # H2's quotient is strictly more precise:
+        x = relation.column("x").unscaled()[0]
+        exact = Fraction(x, 7 * 10**8)
+        h2_err = abs(Fraction(*h2_result.values[0].to_fraction_parts()) - exact)
+        pg_err = abs(Fraction(*pg_result.values[0].to_fraction_parts()) - exact)
+        assert h2_err <= pg_err
+
+
+class TestCostShapes:
+    def test_postgres_quadratic_in_digits(self):
+        """RSA scaling: cost grows superlinearly with precision."""
+        engine = PostgresModel()
+        times = []
+        for precision in (17, 35, 71, 143):
+            schema = {"c1": DecimalSpec(precision, 0)}
+            profile = profile_expression(f"c1 * c1 % {10**(precision+1) - 3}", schema)
+            times.append(engine.query_seconds(profile, SIM, include_scan=False))
+        growth1 = times[1] / times[0]
+        growth2 = times[3] / times[2]
+        assert growth2 > growth1  # accelerating growth
+
+    def test_monetdb_is_fast_and_in_memory(self, small_relation):
+        monet = create("MonetDB").run_sum(small_relation, "c1", simulate_rows=SIM)
+        pg = create("PostgreSQL").run_sum(small_relation, "c1", simulate_rows=SIM)
+        assert monet.seconds < pg.seconds
+
+    def test_heavyai_fixed_overhead_dominates(self):
+        heavy = create("HEAVY.AI")
+        # Narrow column so the SUM result stays within HEAVY.AI's 64 bits.
+        narrow = relation_r1(DecimalSpec(9, 2), rows=50, seed=2)
+        result = heavy.run_sum(narrow, "c1", simulate_rows=SIM)
+        assert result.seconds >= heavy.costs.fixed_overhead
+
+    def test_postgres_parallel_aggregate(self, small_relation):
+        """Pure aggregation runs parallel; expressions don't."""
+        engine = PostgresModel()
+        agg_profile = profile_expression("c1", small_relation.decimal_schema())
+        agg_profile.agg_digits.append(20)
+        expr_profile = profile_expression("c1 + c2", small_relation.decimal_schema())
+        agg_per_tuple = engine.query_seconds(agg_profile, SIM, include_scan=False) / SIM
+        serial_equivalent = engine.costs.arithmetic_seconds(agg_profile)
+        assert agg_per_tuple < serial_equivalent  # workers > 1
+
+    def test_postgres_parallel_kickin_on_giant_expressions(self):
+        """The Figure 15 effect: the 10-term polynomial goes parallel."""
+        from repro.workloads.trig import sine_expression
+
+        engine = PostgresModel()
+        schema = {"c2": DecimalSpec(9, 8)}
+        time_9 = engine.query_seconds(
+            profile_expression(sine_expression("c2", 9), schema), SIM, include_scan=False
+        )
+        time_10 = engine.query_seconds(
+            profile_expression(sine_expression("c2", 10), schema), SIM, include_scan=False
+        )
+        assert time_10 < time_9  # more work, less time: parallel scan kicked in
+
+    def test_rateupdb_grows_faster_than_ultraprecise_would(self, small_relation):
+        """Non-compact representation: steeper digit slope than UltraPrecise."""
+        engine = RateupDBModel()
+        narrow = relation_r1(DecimalSpec(16, 2), rows=10, seed=1)
+        wide = relation_r1(DecimalSpec(36, 2), rows=10, seed=1)
+        t_narrow = engine.run_projection(narrow, "c1 + c2 + c3", simulate_rows=SIM).seconds
+        t_wide = engine.run_projection(wide, "c1 + c2 + c3", simulate_rows=SIM).seconds
+        assert t_wide > t_narrow * 1.3

@@ -1,0 +1,93 @@
+"""Smoke tests: every experiment runs at tiny sizes and keeps its shape.
+
+The full-size assertions live in benchmarks/; these tests guarantee the
+experiment modules stay runnable from the plain test suite.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig01_motivation,
+    fig08_query1,
+    fig09_query2,
+    fig10_alignment,
+    fig11_const_construction,
+    fig12_const_precalc,
+    fig13_tpi,
+    fig14a_aggregation,
+    fig14b_tpch_q1,
+    fig14c_rsa,
+    fig15_sine,
+    profile_nsight,
+    table1_tpch,
+    table2_capabilities,
+)
+
+
+class TestSmoke:
+    def test_fig01(self):
+        experiment = fig01_motivation.run(rows=400)
+        assert len(experiment.rows) == 3
+
+    def test_fig08(self):
+        experiment = fig08_query1.run(rows=100, lengths=(2, 8))
+        assert experiment.column("LEN") == [2, 8]
+        # capability wall visible even in the smoke run
+        assert experiment.rows[1][1] is None
+
+    def test_fig09(self):
+        experiment = fig09_query2.run(rows=80, lengths=(2,))
+        assert len(experiment.rows) == 1
+
+    def test_fig10(self):
+        experiment = fig10_alignment.run(lengths=(2,))
+        assert all(row[6] == 1 for row in experiment.rows)
+
+    def test_fig11(self):
+        experiment = fig11_const_construction.run(lengths=(2, 32))
+        assert all(row[3] > 1.0 for row in experiment.rows)
+
+    def test_fig12(self):
+        experiment = fig12_const_precalc.run(lengths=(4,))
+        savings = {row[0]: row[4] for row in experiment.rows}
+        assert savings["1+a+2-3"] == 100
+
+    def test_fig13(self):
+        experiment = fig13_tpi.run(lengths=(4, 32))
+        divs = [row for row in experiment.rows if row[0] == "a/b" and row[1] == 32]
+        assert divs[0][3] is None  # TPI=4 restriction
+
+    def test_fig14a(self):
+        experiment = fig14a_aggregation.run(rows=200, lengths=(2, 8))
+        assert experiment.rows[0][1] is not None  # HEAVY.AI runs LEN=2
+        assert experiment.rows[1][1] is None
+
+    def test_fig14b(self):
+        experiment = fig14b_tpch_q1.run(rows=300, lengths=(None, 4))
+        assert experiment.rows[0][0] == "orig"
+
+    def test_fig14b_for(self):
+        experiment = fig14b_tpch_q1.run_compression_study(rows=500, lengths=(8,))
+        assert experiment.rows[0][3] > 1.0  # compresses
+
+    def test_fig14c(self):
+        experiment = fig14c_rsa.run(rows=30, lengths=(4,))
+        assert "fails" in experiment.rows[0][1]
+
+    def test_fig15(self):
+        experiment = fig15_sine.run(
+            rows=20, columns=("c2",), terms_range=(2, 4), include_baselines=False
+        )
+        maes = [row[3] for row in experiment.rows]
+        assert maes[1] < maes[0]  # more terms -> lower error
+
+    def test_profile(self):
+        experiment = profile_nsight.run(lengths=(8,))
+        assert all(row[4] == "yes" for row in experiment.rows)
+
+    def test_table1(self):
+        assert len(table1_tpch.run().rows) == 21
+
+    def test_table2(self):
+        experiment = table2_capabilities.run()
+        assert all(row[3] == "ok" for row in experiment.rows)

@@ -1,0 +1,86 @@
+"""Tests for the benchmark harness, report generator, and CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import report
+from repro.bench.harness import Experiment, ratio
+
+
+class TestExperiment:
+    def build(self):
+        return Experiment(
+            experiment_id="demo",
+            title="A demo table",
+            headers=["name", "value (s)", "missing"],
+            rows=[["alpha", 1.2345, None], ["beta", 0.000321, 7]],
+            notes=["a note"],
+        )
+
+    def test_format_contains_everything(self):
+        text = self.build().format()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "1.23" in text
+        assert "note: a note" in text
+        assert "-" in text  # the None cell
+
+    def test_column_extraction(self):
+        experiment = self.build()
+        assert experiment.column("name") == ["alpha", "beta"]
+        assert experiment.column("missing") == [None, 7]
+        with pytest.raises(ValueError):
+            experiment.column("nope")
+
+    def test_save_roundtrip(self, tmp_path):
+        experiment = self.build()
+        target = experiment.save(tmp_path)
+        with open(target) as handle:
+            data = json.load(handle)
+        assert data["id"] == "demo"
+        assert data["rows"][0][0] == "alpha"
+
+    def test_ratio_helper(self):
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(None, 2.0) is None
+        assert ratio(1.0, 0.0) is None
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = report.experiment_ids()
+        expected = {
+            "fig01", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+            "fig14a", "fig14b", "fig14b_for", "fig14c", "fig15",
+            "table1", "table2", "profile",
+        }
+        assert expected <= set(ids)
+
+    def test_run_single_experiment(self):
+        experiment = report.run_experiment("table2")
+        assert experiment.experiment_id == "table2"
+        assert experiment.rows
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "all" in out
+
+    def test_unknown(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_run_one(self, capsys, tmp_path, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Q18" in out
+        assert (tmp_path / "bench_results" / "table1.json").exists()

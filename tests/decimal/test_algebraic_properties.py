@@ -1,0 +1,131 @@
+"""Algebraic invariants of DECIMAL arithmetic (hypothesis property tests).
+
+The fixed-point semantics are exact for +, -, x (the inference rules size
+containers so nothing truncates), so the classical ring axioms must hold
+*exactly* -- any carry-chain or sign-handling bug breaks one of them.
+Division/truncating operations get ordering and bounding invariants
+instead.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.value import DecimalValue
+
+
+@st.composite
+def values(draw, max_precision=20):
+    precision = draw(st.integers(min_value=1, max_value=max_precision))
+    scale = draw(st.integers(min_value=0, max_value=precision))
+    spec = DecimalSpec(precision, scale)
+    unscaled = draw(st.integers(min_value=-spec.max_unscaled, max_value=spec.max_unscaled))
+    return DecimalValue.from_unscaled(unscaled, spec)
+
+
+def exact(value: DecimalValue) -> Fraction:
+    return Fraction(*value.to_fraction_parts())
+
+
+class TestRingAxioms:
+    @given(values(), values())
+    @settings(max_examples=150, deadline=None)
+    def test_addition_commutes(self, a, b):
+        assert exact(a + b) == exact(b + a)
+
+    @given(values(), values())
+    @settings(max_examples=150, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        assert exact(a * b) == exact(b * a)
+
+    @given(values(max_precision=12), values(max_precision=12), values(max_precision=12))
+    @settings(max_examples=100, deadline=None)
+    def test_addition_associates(self, a, b, c):
+        assert exact((a + b) + c) == exact(a + (b + c))
+
+    @given(values(max_precision=10), values(max_precision=10), values(max_precision=10))
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_associates(self, a, b, c):
+        assert exact((a * b) * c) == exact(a * (b * c))
+
+    @given(values(max_precision=10), values(max_precision=10), values(max_precision=10))
+    @settings(max_examples=100, deadline=None)
+    def test_distributivity(self, a, b, c):
+        assert exact(a * (b + c)) == exact(a * b) + exact(a * c)
+
+    @given(values())
+    @settings(max_examples=100, deadline=None)
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero
+
+    @given(values())
+    @settings(max_examples=100, deadline=None)
+    def test_subtraction_is_negated_addition(self, a):
+        b = DecimalValue.from_unscaled(a.spec.max_unscaled // 3, a.spec)
+        assert exact(a - b) == exact(a + (-b))
+
+
+class TestDivisionInvariants:
+    @given(values(max_precision=12), values(max_precision=10))
+    @settings(max_examples=100, deadline=None)
+    def test_quotient_brackets_exact_value(self, a, b):
+        assume(not b.is_zero)
+        result_spec = inference.div_result(a.spec, b.spec)
+        expected_magnitude = (
+            abs(a.unscaled) * 10 ** inference.div_prescale(b.spec) // abs(b.unscaled)
+        )
+        assume(result_spec.fits(expected_magnitude))  # stay off the wrap path
+        quotient = a / b
+        exact_ratio = exact(a) / exact(b)
+        ulp = Fraction(1, 10**quotient.spec.scale)
+        # Truncation toward zero: |q| <= |exact| < |q| + ulp.
+        assert abs(exact(quotient)) <= abs(exact_ratio) < abs(exact(quotient)) + ulp
+
+    @given(values(max_precision=12))
+    @settings(max_examples=60, deadline=None)
+    def test_division_by_one(self, a):
+        one = DecimalValue.from_literal(1)
+        quotient = a / one
+        assert exact(quotient) == exact(a)
+
+    @given(
+        st.integers(min_value=-(10**15), max_value=10**15),
+        st.integers(min_value=1, max_value=10**12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_divmod_identity(self, a_int, b_int):
+        """floor-ish identity: a == (a // b) * b + a % b for integers."""
+        spec_a = DecimalSpec(16, 0)
+        spec_b = DecimalSpec(13, 0)
+        a = DecimalValue.from_unscaled(a_int, spec_a)
+        b = DecimalValue.from_unscaled(b_int, spec_b)
+        remainder = a % b
+        # Our % is C-style (sign follows dividend), so reconstruct with the
+        # truncating quotient.
+        quotient_int = abs(a_int) // b_int * (1 if a_int >= 0 else -1)
+        assert quotient_int * b_int + remainder.unscaled == a_int
+
+
+class TestOrderingInvariants:
+    @given(values(), values(), values())
+    @settings(max_examples=100, deadline=None)
+    def test_comparison_is_transitive(self, a, b, c):
+        ordered = sorted([a, b, c])
+        assert exact(ordered[0]) <= exact(ordered[1]) <= exact(ordered[2])
+
+    @given(values(max_precision=12), values(max_precision=12), values(max_precision=12))
+    @settings(max_examples=100, deadline=None)
+    def test_addition_is_monotone(self, a, b, c):
+        if a <= b:
+            assert exact(a + c) <= exact(b + c)
+
+    @given(values())
+    @settings(max_examples=60, deadline=None)
+    def test_rescale_preserves_order_against_zero(self, a):
+        rescaled = a.rescale(a.spec.scale + 5)
+        zero = DecimalValue.zero(a.spec)
+        assert (a < zero) == (rescaled < zero.rescale(zero.spec.scale + 5))

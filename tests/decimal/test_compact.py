@@ -1,0 +1,91 @@
+"""Tests for the compact byte-aligned representation (Figure 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import compact
+from repro.core.decimal import words as w
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import ConversionError
+
+
+class TestScalarPack:
+    def test_paper_example(self):
+        # -1.23 in DECIMAL(10, 2) stores 123 with the sign bit, in 5 bytes.
+        spec = DecimalSpec(10, 2)
+        data = compact.pack(True, tuple(w.from_int(123, spec.words)), spec)
+        assert len(data) == 5
+        assert data[0] == 123
+        assert data[-1] & compact.SIGN_BIT
+
+    def test_roundtrip_positive(self):
+        spec = DecimalSpec(10, 2)
+        words = tuple(w.from_int(9876543210 % 10**10, spec.words))
+        negative, out = compact.unpack(compact.pack(False, words, spec), spec)
+        assert not negative and out == words
+
+    @given(st.integers(min_value=0, max_value=10**38 - 1), st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, magnitude, negative):
+        spec = DecimalSpec(38, 5)
+        words = tuple(w.from_int(magnitude, spec.words))
+        out_negative, out_words = compact.unpack(compact.pack(negative, words, spec), spec)
+        assert out_words == words
+        assert out_negative == (negative and magnitude != 0)
+
+    def test_negative_zero_normalises(self):
+        spec = DecimalSpec(4, 0)
+        data = compact.pack(True, tuple(w.from_int(0, spec.words)), spec)
+        negative, words = compact.unpack(data, spec)
+        assert not negative and w.is_zero(words)
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ConversionError):
+            compact.unpack(b"\x00", DecimalSpec(10, 2))
+
+
+class TestColumnPack:
+    def make_column(self, values, spec):
+        rows = len(values)
+        negative = np.array([v < 0 for v in values])
+        words = np.zeros((rows, spec.words), np.uint32)
+        for row, value in enumerate(values):
+            for limb, word in enumerate(w.from_int(abs(value), spec.words)):
+                words[row, limb] = word
+        return negative, words
+
+    def test_roundtrip_matches_scalar(self):
+        spec = DecimalSpec(18, 2)
+        values = [0, 1, -1, 10**18 - 1, -(10**17), 123456789]
+        negative, words = self.make_column(values, spec)
+        packed = compact.pack_column(negative, words, spec)
+        assert packed.shape == (len(values), spec.compact_bytes)
+        for row, value in enumerate(values):
+            expected = compact.pack(value < 0, tuple(words[row].tolist()), spec)
+            assert packed[row].tobytes() == expected
+
+    @given(
+        st.lists(st.integers(min_value=-(10**37), max_value=10**37), min_size=1, max_size=40)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_column(self, values):
+        spec = DecimalSpec(38, 11)
+        negative, words = self.make_column(values, spec)
+        packed = compact.pack_column(negative, words, spec)
+        out_negative, out_words = compact.unpack_column(packed, spec)
+        assert np.array_equal(out_words, words)
+        nonzero = words.any(axis=1)
+        assert np.array_equal(out_negative, negative & nonzero)
+
+    def test_compact_is_smaller_than_word_aligned(self):
+        # The whole point: Lb < 4*Lw + 1 in general.
+        for precision in (10, 18, 38, 76, 153, 307):
+            spec = DecimalSpec(precision, 2)
+            assert spec.compact_bytes < 4 * spec.words + 1
+
+    def test_width_mismatch_raises(self):
+        spec = DecimalSpec(18, 2)
+        with pytest.raises(ConversionError):
+            compact.unpack_column(np.zeros((3, 1), np.uint8), spec)

@@ -1,0 +1,108 @@
+"""Tests for DECIMAL(p, s) specs and the Lw/Lb storage-length tables."""
+
+import pytest
+
+from repro.core.decimal.context import (
+    PAPER_LENS,
+    PAPER_RESULT_PRECISIONS,
+    DecimalSpec,
+    bytes_for_precision,
+    precision_for_words,
+    spec_for_len,
+    value_bits,
+    words_for_precision,
+)
+from repro.errors import SchemaError
+
+
+class TestWordLengths:
+    def test_paper_len_table(self):
+        """The paper's precision/LEN table: 18/38/76/153/307 -> 2/4/8/16/32."""
+        for length, precision in PAPER_RESULT_PRECISIONS.items():
+            assert words_for_precision(precision) == length
+
+    def test_paper_precisions_fit_their_len(self):
+        """Each paper precision fits its LEN with at most one digit spare.
+
+        (The paper picks 18 for LEN=2 -- one digit below the 19-digit max --
+        to match HEAVY.AI's precision cap; the others are near-maximal.)
+        """
+        for length, precision in PAPER_RESULT_PRECISIONS.items():
+            assert precision_for_words(length) - precision <= 1
+
+    def test_single_word_precision(self):
+        """A 32-bit word holds at most 9 decimal digits (intro, section I)."""
+        assert words_for_precision(9) == 1
+        assert words_for_precision(10) == 2
+
+    def test_two_word_precision(self):
+        """A 64-bit (two-word) container holds at most 19 digits."""
+        assert words_for_precision(19) == 2
+        assert words_for_precision(20) == 3
+
+    def test_precision_for_words_inverse(self):
+        for words in (1, 2, 4, 8, 16, 32):
+            precision = precision_for_words(words)
+            assert words_for_precision(precision) <= words
+            assert words_for_precision(precision + 1) > words
+
+    def test_value_bits_matches_exact_log(self):
+        # 10**p - 1 needs exactly ceil(p * log2 10) bits for every p >= 1.
+        for precision in range(1, 200):
+            assert value_bits(precision) == (10**precision - 1).bit_length()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SchemaError):
+            words_for_precision(0)
+        with pytest.raises(SchemaError):
+            precision_for_words(0)
+
+
+class TestCompactBytes:
+    def test_paper_example_decimal_10_2(self):
+        """-1.23 in DECIMAL(10, 2): 9 bytes in registers, 5 bytes compact."""
+        spec = DecimalSpec(10, 2)
+        assert spec.words == 2  # 8 bytes of value + 1 sign byte = 9 total
+        assert spec.compact_bytes == 5
+
+    def test_compact_always_at_most_word_size(self):
+        for precision in range(1, 400):
+            assert bytes_for_precision(precision) <= 4 * words_for_precision(precision) + 1
+
+    def test_sign_bit_reserved(self):
+        # Lb must leave one spare bit for the sign.
+        for precision in range(1, 300):
+            assert 8 * bytes_for_precision(precision) >= value_bits(precision) + 1
+
+
+class TestDecimalSpec:
+    def test_valid_spec(self):
+        spec = DecimalSpec(12, 5)
+        assert spec.integer_digits == 7
+        assert spec.max_unscaled == 10**12 - 1
+        assert str(spec) == "DECIMAL(12, 5)"
+
+    def test_fits(self):
+        spec = DecimalSpec(4, 2)
+        assert spec.fits(9999)
+        assert spec.fits(-9999)
+        assert not spec.fits(10000)
+
+    def test_scale_bounds(self):
+        with pytest.raises(SchemaError):
+            DecimalSpec(4, 5)
+        with pytest.raises(SchemaError):
+            DecimalSpec(4, -1)
+        with pytest.raises(SchemaError):
+            DecimalSpec(0, 0)
+
+    def test_spec_for_len(self):
+        for length in PAPER_LENS:
+            spec = spec_for_len(length)
+            assert spec.words == length
+        with pytest.raises(SchemaError):
+            spec_for_len(3)
+
+    def test_specs_are_hashable_and_equal(self):
+        assert DecimalSpec(10, 2) == DecimalSpec(10, 2)
+        assert len({DecimalSpec(10, 2), DecimalSpec(10, 2), DecimalSpec(10, 3)}) == 2

@@ -1,0 +1,104 @@
+"""Tests for literal parsing and scale conversion."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import convert
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import ConversionError
+
+
+class TestParseLiteral:
+    def test_paper_examples(self):
+        assert convert.parse_literal("1.23") == (False, 123, DecimalSpec(3, 2))
+        assert convert.parse_literal("10") == (False, 10, DecimalSpec(2, 0))
+
+    def test_negative(self):
+        negative, unscaled, spec = convert.parse_literal("-0.5")
+        assert negative and unscaled == 5 and spec == DecimalSpec(1, 1)
+
+    def test_leading_zeros_do_not_inflate_precision(self):
+        _, unscaled, spec = convert.parse_literal("000.25")
+        assert unscaled == 25 and spec == DecimalSpec(2, 2)
+
+    def test_trailing_fraction_zeros_count(self):
+        # 1.230 keeps scale 3: trailing zeros are significant for DECIMAL.
+        _, unscaled, spec = convert.parse_literal("1.230")
+        assert unscaled == 1230 and spec == DecimalSpec(4, 3)
+
+    def test_bare_point_forms(self):
+        assert convert.parse_literal(".5")[1:] == (5, DecimalSpec(1, 1))
+        assert convert.parse_literal("5.")[1:] == (5, DecimalSpec(1, 0))
+
+    def test_zero(self):
+        negative, unscaled, spec = convert.parse_literal("0")
+        assert not negative and unscaled == 0 and spec == DecimalSpec(1, 0)
+
+    @pytest.mark.parametrize("bad", ["", ".", "abc", "1.2.3", "1e5", "--1"])
+    def test_rejects_non_literals(self, bad):
+        with pytest.raises(ConversionError):
+            convert.parse_literal(bad)
+
+    @given(st.decimals(allow_nan=False, allow_infinity=False, places=6))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_stdlib_decimal(self, value):
+        import decimal as stdlib_decimal
+
+        text = format(value, "f")
+        negative, unscaled, spec = convert.parse_literal(text)
+        sign = -1 if negative else 1
+        with stdlib_decimal.localcontext() as ctx:
+            ctx.prec = max(spec.precision + 2, 50)
+            assert Decimal(sign * unscaled).scaleb(-spec.scale) == value
+
+
+class TestLiteralToUnscaled:
+    def test_int(self):
+        assert convert.literal_to_unscaled(7, DecimalSpec(5, 2)) == (False, 700)
+
+    def test_float_exact_decimal(self):
+        assert convert.literal_to_unscaled(0.1, DecimalSpec(5, 3)) == (False, 100)
+
+    def test_string(self):
+        assert convert.literal_to_unscaled("-2.5", DecimalSpec(6, 2)) == (True, 250)
+
+    def test_decimal(self):
+        assert convert.literal_to_unscaled(Decimal("3.14"), DecimalSpec(6, 4)) == (False, 31400)
+
+    def test_overflow(self):
+        with pytest.raises(ConversionError):
+            convert.literal_to_unscaled("123.45", DecimalSpec(4, 2))
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConversionError):
+            convert.literal_to_unscaled(True, DecimalSpec(4, 2))
+
+
+class TestRescaleUnscaled:
+    def test_up(self):
+        assert convert.rescale_unscaled(123, 2, 4, DecimalSpec(10, 4)) == 12300
+
+    def test_down_truncates(self):
+        assert convert.rescale_unscaled(129, 2, 1, DecimalSpec(10, 1)) == 12
+
+    def test_overflow_checked(self):
+        with pytest.raises(ConversionError):
+            convert.rescale_unscaled(99, 0, 4, DecimalSpec(4, 4))
+
+
+class TestRender:
+    @pytest.mark.parametrize(
+        "negative,unscaled,scale,expected",
+        [
+            (False, 123, 2, "1.23"),
+            (True, 123, 2, "-1.23"),
+            (False, 5, 3, "0.005"),
+            (True, 0, 2, "0.00"),
+            (False, 7, 0, "7"),
+        ],
+    )
+    def test_examples(self, negative, unscaled, scale, expected):
+        assert convert.unscaled_to_string(negative, unscaled, scale) == expected

@@ -1,0 +1,136 @@
+"""Tests for the four division algorithms of sections II-B and III-C2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import words as w
+from repro.core.decimal.division import (
+    auto_divmod,
+    binary_search_divmod,
+    goldschmidt_divmod,
+    native64_divmod,
+    newton_raphson_divmod,
+    quotient_bit_range,
+    short_divmod,
+)
+from repro.errors import DivisionByZeroError
+
+ALGORITHMS = [binary_search_divmod, newton_raphson_divmod, goldschmidt_divmod, auto_divmod]
+
+
+def check(algorithm, a, b, width):
+    quotient, remainder, stats = algorithm(w.from_int(a, width), w.from_int(b, width))
+    assert (w.to_int(quotient), w.to_int(remainder)) == divmod(a, b)
+    return stats
+
+
+class TestQuotientRange:
+    def test_paper_example(self):
+        # a = 1xxxxx (6 bits), b = 1xxx (4 bits) -> quotient in [0b10, 0b111].
+        lo, hi = quotient_bit_range(w.from_int(0b101010, 2), w.from_int(0b1001, 2))
+        assert (lo, hi) == (0b10, 0b111)
+
+    def test_smaller_dividend(self):
+        lo, hi = quotient_bit_range(w.from_int(3, 1), w.from_int(100, 1))
+        assert lo == 0
+
+    def test_equal_magnitudes(self):
+        lo, hi = quotient_bit_range(w.from_int(9, 1), w.from_int(9, 1))
+        assert lo <= 1 <= hi
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(DivisionByZeroError):
+            quotient_bit_range([5], [0])
+
+    @given(
+        st.integers(min_value=1, max_value=(1 << 128) - 1),
+        st.integers(min_value=1, max_value=(1 << 128) - 1),
+    )
+    def test_range_contains_quotient(self, a, b):
+        lo, hi = quotient_bit_range(w.from_int(a, 4), w.from_int(b, 4))
+        assert lo <= a // b <= hi
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda f: f.__name__)
+class TestAlgorithms:
+    def test_simple(self, algorithm):
+        check(algorithm, 100, 7, 2)
+
+    def test_exact_division(self, algorithm):
+        check(algorithm, 10**18, 10**9, 3)
+
+    def test_dividend_smaller(self, algorithm):
+        check(algorithm, 3, 10**20, 3)
+
+    def test_equal_operands(self, algorithm):
+        check(algorithm, 98765, 98765, 2)
+
+    def test_zero_dividend(self, algorithm):
+        check(algorithm, 0, 12345, 2)
+
+    def test_divisor_one(self, algorithm):
+        check(algorithm, 2**100 - 1, 1, 4)
+
+    def test_zero_divisor_raises(self, algorithm):
+        with pytest.raises(DivisionByZeroError):
+            algorithm(w.from_int(10, 2), w.from_int(0, 2))
+
+    def test_wide_operands(self, algorithm):
+        check(algorithm, 10**150 + 123456789, 10**70 + 987654321, 18)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 256) - 1),
+        st.integers(min_value=1, max_value=(1 << 200) - 1),
+    )
+    def test_matches_oracle(self, algorithm, a, b):
+        check(algorithm, a, b, 9)
+
+
+class TestFastPaths:
+    def test_native64(self):
+        quotient, remainder, stats = native64_divmod(w.from_int(10**18, 2), w.from_int(33, 2))
+        assert stats.used_fast_path and stats.algorithm == "native64"
+        assert (w.to_int(quotient), w.to_int(remainder)) == divmod(10**18, 33)
+
+    def test_native64_rejects_wide(self):
+        with pytest.raises(ValueError):
+            native64_divmod(w.from_int(1 << 64, 3), w.from_int(3, 3))
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=1, max_value=(1 << 32) - 1),
+    )
+    def test_short_division(self, a, b):
+        quotient, remainder, stats = short_divmod(w.from_int(a, 4), b)
+        assert stats.used_fast_path
+        assert (w.to_int(quotient), remainder) == divmod(a, b)
+
+    def test_short_rejects_wide_divisor(self):
+        with pytest.raises(ValueError):
+            short_divmod([1, 2], 1 << 32)
+
+    def test_auto_dispatch_picks_fast_paths(self):
+        # Both fit 64 bits -> native div (section III-C2 first test).
+        _, _, stats = auto_divmod(w.from_int(10**15, 3), w.from_int(7, 3))
+        assert stats.algorithm == "native64"
+        # Wide dividend, one-word divisor -> short division (second test).
+        _, _, stats = auto_divmod(w.from_int(10**30, 4), w.from_int(7, 4))
+        assert stats.algorithm == "short"
+        # Wide both -> binary search.
+        _, _, stats = auto_divmod(w.from_int(10**30, 4), w.from_int(10**20, 4))
+        assert stats.algorithm == "binary_search"
+
+
+class TestStats:
+    def test_binary_search_counts_probes(self):
+        stats = check(binary_search_divmod, 10**30, 10**10 + 7, 4)
+        assert stats.iterations > 0
+        assert stats.multiplications >= stats.iterations
+
+    def test_newton_converges_quadratically(self):
+        # Iteration count grows ~log(bits), far below binary search's ~bits.
+        stats_nr = check(newton_raphson_divmod, 10**140, 10**69 + 3, 16)
+        stats_bs = check(binary_search_divmod, 10**140, 10**69 + 3, 16)
+        assert stats_nr.iterations < stats_bs.iterations

@@ -1,0 +1,100 @@
+"""Arbitrary-precision stress tests.
+
+The paper's claim is *arbitrary* precision -- "the practical limit should
+only be imposed by the available memory" (section II-A), with the intro
+citing workloads needing up to 20,000 digits.  These tests exercise the
+full stack (specs, compact layout, vector arithmetic, kernels) at
+precisions far beyond the evaluation's LEN=32.
+"""
+
+import pytest
+
+from repro.core.decimal.context import DecimalSpec, words_for_precision
+from repro.core.decimal.value import DecimalValue
+from repro.core.decimal.vectorized import DecimalVector
+from repro.core.decimal import vectorized as vz
+from repro.core.jit import compile_expression
+from repro.gpusim import execute, kernel_time
+
+
+class TestThousandDigits:
+    SPEC = DecimalSpec(1000, 100)
+
+    def test_spec_storage_lengths(self):
+        assert self.SPEC.words == words_for_precision(1000)
+        assert self.SPEC.words >= 100  # ~3322 bits
+        assert self.SPEC.compact_bytes <= 4 * self.SPEC.words + 1
+
+    def test_roundtrip(self):
+        value = 10**999 - 10**500 + 12345
+        column = DecimalVector.from_unscaled([value, -value], self.SPEC)
+        assert DecimalVector.from_compact(column.to_compact(), self.SPEC).to_unscaled() == [
+            value,
+            -value,
+        ]
+
+    def test_arithmetic(self):
+        a = DecimalValue.from_unscaled(10**999 - 1, self.SPEC)
+        b = DecimalValue.from_unscaled(1, self.SPEC)
+        assert (a + b).unscaled == 10**999
+        assert (a - a).is_zero
+
+    def test_kernel_at_1000_digits(self):
+        schema = {"a": self.SPEC, "b": self.SPEC}
+        compiled = compile_expression("a + b", schema)
+        values_a = [10**999 - 7, -(10**998)]
+        values_b = [7, 10**998]
+        columns = {
+            "a": DecimalVector.from_unscaled(values_a, self.SPEC).to_compact(),
+            "b": DecimalVector.from_unscaled(values_b, self.SPEC).to_compact(),
+        }
+        run = execute(compiled.kernel, columns, 2)
+        assert run.result.to_unscaled() == [10**999, 0]
+
+
+class TestTwentyThousandDigits:
+    """The gradient-domain-processing precision from the paper's intro."""
+
+    SPEC = DecimalSpec(20_000, 10_000)
+
+    def test_spec_is_constructible(self):
+        assert self.SPEC.words == words_for_precision(20_000)
+        assert self.SPEC.words > 2000
+
+    def test_multiplication_of_10k_digit_numbers(self):
+        half = DecimalSpec(10_000, 0)
+        a = 10**9_999 + 271828
+        b = 10**9_999 - 314159
+        va = DecimalVector.from_unscaled([a], half)
+        vb = DecimalVector.from_unscaled([b], half)
+        product = vz.mul(va, vb)
+        assert product.to_unscaled() == [a * b]
+
+    def test_timing_model_scales(self):
+        # The cost model stays finite and monotone out to 20k digits.
+        schema_small = {"a": DecimalSpec(307, 2), "b": DecimalSpec(307, 2)}
+        schema_huge = {"a": DecimalSpec(19_999, 2), "b": DecimalSpec(19_999, 2)}
+        small = kernel_time(compile_expression("a + b", schema_small).kernel, 1_000_000)
+        huge = kernel_time(compile_expression("a + b", schema_huge).kernel, 1_000_000)
+        assert huge.seconds > small.seconds
+        assert huge.seconds < 3600  # finite and sane
+
+
+class TestDegenerateShapes:
+    def test_scale_equals_precision(self):
+        spec = DecimalSpec(50, 50)
+        value = DecimalValue.from_unscaled(10**50 - 1, spec)
+        assert str(value).startswith("0.")
+
+    def test_precision_one(self):
+        spec = DecimalSpec(1, 0)
+        a = DecimalValue.from_unscaled(9, spec)
+        b = DecimalValue.from_unscaled(9, spec)
+        assert (a + b).unscaled == 18  # result spec widens to (2, 0)
+
+    def test_single_row_wide_kernel(self):
+        spec = DecimalSpec(2000, 1)
+        compiled = compile_expression("a * 2", {"a": spec})
+        columns = {"a": DecimalVector.from_unscaled([10**1999 // 2], spec).to_compact()}
+        run = execute(compiled.kernel, columns, 1)
+        assert run.result.to_unscaled() == [2 * (10**1999 // 2)]

@@ -1,0 +1,83 @@
+"""Tests for the sub-quadratic multiplication algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import words as w
+from repro.core.decimal.fastmul import NTT_PRIME, ntt_multiply, toom3
+from repro.core.decimal.karatsuba import karatsuba
+
+
+def big_ints(bits):
+    return st.integers(min_value=0, max_value=(1 << bits) - 1)
+
+
+class TestToom3:
+    @given(big_ints(2048), big_ints(2048))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_int(self, a, b):
+        width = 64
+        product = toom3(w.from_int(a, width), w.from_int(b, width), threshold=4)
+        assert w.to_int(product) == a * b
+
+    def test_recursive_path(self):
+        a = (1 << 3000) - 12345
+        b = (1 << 2800) + 6789
+        width = 96
+        product = toom3(w.from_int(a, width), w.from_int(b, width), threshold=4)
+        assert w.to_int(product) == a * b
+
+    def test_zero(self):
+        assert w.to_int(toom3(w.from_int(0, 8), w.from_int(99, 8))) == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            toom3([1], [1], threshold=2)
+
+    @pytest.mark.parametrize("threshold", [3, 6, 24])
+    def test_threshold_invariant(self, threshold):
+        a, b = 7**300, 3**500
+        product = toom3(w.from_int(a, 30), w.from_int(b, 30), threshold=threshold)
+        assert w.to_int(product) == a * b
+
+
+class TestNtt:
+    def test_prime_structure(self):
+        # The Goldilocks prime supports power-of-two NTT lengths.
+        assert NTT_PRIME == 2**64 - 2**32 + 1
+        assert (NTT_PRIME - 1) % (1 << 32) == 0
+
+    @given(big_ints(1536), big_ints(1536))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_int(self, a, b):
+        width = 48
+        product = ntt_multiply(w.from_int(a, width), w.from_int(b, width))
+        assert w.to_int(product) == a * b
+
+    def test_zero_operand(self):
+        assert w.is_zero(ntt_multiply(w.from_int(0, 4), w.from_int(12345, 4)))
+
+    def test_single_word(self):
+        product = ntt_multiply([0xFFFFFFFF], [0xFFFFFFFF])
+        assert w.to_int(product) == 0xFFFFFFFF * 0xFFFFFFFF
+
+    def test_very_wide(self):
+        a = (1 << 9000) - 987654321
+        b = (1 << 8000) + 123456789
+        width = 290
+        product = ntt_multiply(w.from_int(a, width), w.from_int(b, width))
+        assert w.to_int(product) == a * b
+
+
+class TestAlgorithmAgreement:
+    @given(big_ints(1024), big_ints(1024))
+    @settings(max_examples=20, deadline=None)
+    def test_all_four_agree(self, a, b):
+        """Schoolbook, Karatsuba, Toom-3 and NTT: one answer."""
+        width = 32
+        wa, wb = w.from_int(a, width), w.from_int(b, width)
+        schoolbook = w.to_int(w.mul(list(wa), list(wb)))
+        assert w.to_int(karatsuba(wa, wb, threshold=4)) == schoolbook
+        assert w.to_int(toom3(wa, wb, threshold=4)) == schoolbook
+        assert w.to_int(ntt_multiply(wa, wb)) == schoolbook

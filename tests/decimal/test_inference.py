@@ -1,0 +1,113 @@
+"""Tests for the section III-B3 precision/scale inference rules."""
+
+import pytest
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import TypeInferenceError
+
+
+class TestAddRule:
+    def test_same_scale(self):
+        # (4,2) + (4,2) -> (5,2)
+        assert inference.add_result(DecimalSpec(4, 2), DecimalSpec(4, 2)) == DecimalSpec(5, 2)
+
+    def test_listing1_example(self):
+        # DECIMAL(4, 2) + DECIMAL(4, 1): the paper expands the result to
+        # precision 6 ("To avoid potential overflows ... we expand the
+        # precision of the results to 6").
+        result = inference.add_result(DecimalSpec(4, 2), DecimalSpec(4, 1))
+        assert result == DecimalSpec(6, 2)
+
+    def test_commutative(self):
+        a, b = DecimalSpec(17, 11), DecimalSpec(12, 1)
+        assert inference.add_result(a, b) == inference.add_result(b, a)
+
+    def test_result_never_overflows(self):
+        # The rule must cover the worst case: both operands at max magnitude.
+        for p1, s1, p2, s2 in [(4, 2, 4, 1), (10, 5, 3, 0), (9, 9, 9, 1), (12, 2, 12, 2)]:
+            a, b = DecimalSpec(p1, s1), DecimalSpec(p2, s2)
+            result = inference.add_result(a, b)
+            worst = a.max_unscaled * 10 ** (result.scale - s1) + b.max_unscaled * 10 ** (
+                result.scale - s2
+            )
+            assert result.fits(worst)
+
+
+class TestMulRule:
+    def test_precisions_and_scales_add(self):
+        assert inference.mul_result(DecimalSpec(4, 2), DecimalSpec(6, 3)) == DecimalSpec(10, 5)
+
+    def test_result_never_overflows(self):
+        a, b = DecimalSpec(7, 3), DecimalSpec(5, 5)
+        result = inference.mul_result(a, b)
+        assert result.fits(a.max_unscaled * b.max_unscaled)
+
+
+class TestDivRule:
+    def test_paper_formula(self):
+        # dividend (12,2), divisor (6,3): (12-6+3+5, 2+4) = (14, 6)
+        assert inference.div_result(DecimalSpec(12, 2), DecimalSpec(6, 3)) == DecimalSpec(14, 6)
+
+    def test_scale_is_s1_plus_4(self):
+        for s1 in range(0, 6):
+            result = inference.div_result(DecimalSpec(10, s1), DecimalSpec(5, 2))
+            assert result.scale == s1 + 4
+
+    def test_prescale(self):
+        assert inference.div_prescale(DecimalSpec(6, 3)) == 7
+
+    def test_tiny_dividend_widens_precision(self):
+        # (2,1) / (20,0) would give non-positive precision; spec stays valid.
+        result = inference.div_result(DecimalSpec(2, 1), DecimalSpec(20, 0))
+        assert result.precision >= result.scale + 1
+
+    def test_no_overflow_for_normalized_divisor(self):
+        # When the divisor uses all its integer digits the quotient fits.
+        a, b = DecimalSpec(12, 2), DecimalSpec(6, 3)
+        result = inference.div_result(a, b)
+        smallest_divisor = 10 ** (b.precision - 1)  # full integer digits
+        worst = a.max_unscaled * 10 ** inference.div_prescale(b) // smallest_divisor
+        assert result.fits(worst)
+
+
+class TestModRule:
+    def test_integer_only(self):
+        assert inference.mod_result(DecimalSpec(17, 0), DecimalSpec(18, 0)) == DecimalSpec(18, 0)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeInferenceError):
+            inference.mod_result(DecimalSpec(5, 1), DecimalSpec(5, 0))
+        with pytest.raises(TypeInferenceError):
+            inference.mod_result(DecimalSpec(5, 0), DecimalSpec(5, 2))
+
+
+class TestAggregateRules:
+    def test_sum_widens_by_log10_n(self):
+        result = inference.sum_result(DecimalSpec(12, 2), 10_000_000)
+        assert result == DecimalSpec(19, 2)
+
+    def test_sum_never_overflows(self):
+        spec, n = DecimalSpec(6, 2), 1000
+        result = inference.sum_result(spec, n)
+        assert result.fits(spec.max_unscaled * n)
+
+    def test_sum_rejects_empty(self):
+        with pytest.raises(TypeInferenceError):
+            inference.sum_result(DecimalSpec(5, 0), 0)
+
+    def test_count_spec(self):
+        assert inference.count_spec(10_000_000) == DecimalSpec(8, 0)
+        assert inference.count_spec(1) == DecimalSpec(1, 0)
+        assert inference.count_spec(9) == DecimalSpec(1, 0)
+        assert inference.count_spec(10) == DecimalSpec(2, 0)
+
+    def test_avg_follows_sum_then_div(self):
+        spec = DecimalSpec(12, 2)
+        n = 10_000_000
+        expected = inference.div_result(inference.sum_result(spec, n), inference.count_spec(n))
+        assert inference.avg_result(spec, n) == expected
+
+    def test_minmax_unchanged(self):
+        spec = DecimalSpec(29, 11)
+        assert inference.minmax_result(spec) is spec

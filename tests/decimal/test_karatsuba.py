@@ -1,0 +1,45 @@
+"""Tests for Karatsuba multiplication against the schoolbook oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import words as w
+from repro.core.decimal.karatsuba import karatsuba
+
+
+class TestKaratsuba:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 1024) - 1),
+        st.integers(min_value=0, max_value=(1 << 1024) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_int_multiplication(self, a, b):
+        product = karatsuba(w.from_int(a, 32), w.from_int(b, 32), threshold=4)
+        assert w.to_int(product) == a * b
+
+    def test_output_width(self):
+        product = karatsuba(w.from_int(5, 3), w.from_int(7, 5))
+        assert len(product) == 8
+
+    def test_recursive_path_exercised(self):
+        # Below-threshold inputs use schoolbook; make sure the recursive
+        # splitting handles odd widths and asymmetric operands.
+        a = (1 << 700) - 12345
+        b = (1 << 650) + 99999
+        product = karatsuba(w.from_int(a, 23), w.from_int(b, 21), threshold=2)
+        assert w.to_int(product) == a * b
+
+    def test_zero_operand(self):
+        assert w.to_int(karatsuba(w.from_int(0, 16), w.from_int(12345, 16), threshold=2)) == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            karatsuba([1], [1], threshold=1)
+
+    @pytest.mark.parametrize("threshold", [2, 4, 8, 64])
+    def test_threshold_does_not_change_result(self, threshold):
+        a, b = 3**200, 7**110
+        expected = a * b
+        product = karatsuba(w.from_int(a, 10), w.from_int(b, 10), threshold=threshold)
+        assert w.to_int(product) == expected

@@ -1,0 +1,94 @@
+"""Tests for explicit rounding modes and DECIMAL casts."""
+
+import decimal as stdlib_decimal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.rounding import Rounding, cast, rescale, round_unscaled
+from repro.core.decimal.value import DecimalValue
+from repro.errors import PrecisionOverflowError
+
+_STDLIB_MODES = {
+    Rounding.DOWN: stdlib_decimal.ROUND_DOWN,
+    Rounding.HALF_UP: stdlib_decimal.ROUND_HALF_UP,
+    Rounding.HALF_EVEN: stdlib_decimal.ROUND_HALF_EVEN,
+    Rounding.CEILING: stdlib_decimal.ROUND_CEILING,
+    Rounding.FLOOR: stdlib_decimal.ROUND_FLOOR,
+}
+
+
+class TestRoundUnscaled:
+    @pytest.mark.parametrize(
+        "mode,value,expected",
+        [
+            (Rounding.DOWN, 1259, 125),
+            (Rounding.DOWN, -1259, -125),
+            (Rounding.HALF_UP, 1250, 125),
+            (Rounding.HALF_UP, 1255, 126),  # 125.5 -> 126, ties away from zero
+            (Rounding.HALF_UP, -1255, -126),
+            (Rounding.HALF_EVEN, 1250, 125),  # exact, no tie
+            (Rounding.CEILING, 1201, 121),
+            (Rounding.CEILING, -1209, -120),
+            (Rounding.FLOOR, 1209, 120),
+            (Rounding.FLOOR, -1201, -121),
+        ],
+    )
+    def test_single_digit_drop(self, mode, value, expected):
+        assert round_unscaled(value, 1, mode) == expected
+
+    def test_half_even_ties(self):
+        # 125|5 and 124|5 dropping one digit: ties go to the even quotient.
+        assert round_unscaled(1255, 1, Rounding.HALF_EVEN) == 126
+        assert round_unscaled(1245, 1, Rounding.HALF_EVEN) == 124
+
+    def test_zero_drop_identity(self):
+        assert round_unscaled(123, 0, Rounding.HALF_UP) == 123
+
+    def test_negative_drop_rejected(self):
+        with pytest.raises(ValueError):
+            round_unscaled(1, -1, Rounding.DOWN)
+
+    @given(
+        st.integers(min_value=-(10**18), max_value=10**18),
+        st.integers(min_value=1, max_value=9),
+        st.sampled_from(list(Rounding)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_stdlib_decimal(self, value, drop, mode):
+        got = round_unscaled(value, drop, mode)
+        with stdlib_decimal.localcontext() as ctx:
+            ctx.prec = 60
+            expected = int(
+                (stdlib_decimal.Decimal(value) / (10**drop)).quantize(
+                    stdlib_decimal.Decimal(1), rounding=_STDLIB_MODES[mode]
+                )
+            )
+        assert got == expected
+
+
+class TestRescaleAndCast:
+    def test_rescale_down_half_up(self):
+        value = DecimalValue.from_literal("1.25", DecimalSpec(4, 2))
+        assert str(rescale(value, 1, Rounding.HALF_UP)) == "1.3"
+
+    def test_rescale_up_is_exact(self):
+        value = DecimalValue.from_literal("1.5", DecimalSpec(4, 1))
+        assert rescale(value, 3).unscaled == 1500
+
+    def test_rounding_can_add_a_digit(self):
+        value = DecimalValue.from_literal("9.99", DecimalSpec(3, 2))
+        rounded = rescale(value, 1, Rounding.HALF_UP)
+        assert str(rounded) == "10.0"
+
+    def test_cast_checks_range(self):
+        value = DecimalValue.from_literal("123.45", DecimalSpec(5, 2))
+        with pytest.raises(PrecisionOverflowError):
+            cast(value, DecimalSpec(3, 1))
+
+    def test_cast_success(self):
+        value = DecimalValue.from_literal("123.45", DecimalSpec(5, 2))
+        assert str(cast(value, DecimalSpec(4, 1))) == "123.5"
+        assert str(cast(value, DecimalSpec(4, 1), Rounding.DOWN)) == "123.4"

@@ -1,0 +1,209 @@
+"""Tests for scalar DecimalValue arithmetic against a Fraction oracle."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.value import DecimalValue
+from repro.errors import DivisionByZeroError, PrecisionOverflowError
+
+
+def fraction(value: DecimalValue) -> Fraction:
+    unscaled, denominator = value.to_fraction_parts()
+    return Fraction(unscaled, denominator)
+
+
+@st.composite
+def decimals(draw, max_precision=24):
+    precision = draw(st.integers(min_value=1, max_value=max_precision))
+    scale = draw(st.integers(min_value=0, max_value=precision))
+    spec = DecimalSpec(precision, scale)
+    unscaled = draw(st.integers(min_value=-spec.max_unscaled, max_value=spec.max_unscaled))
+    return DecimalValue.from_unscaled(unscaled, spec)
+
+
+class TestConstruction:
+    def test_from_literal_infers_minimal_spec(self):
+        # "1.23 is DECIMAL(3, 2) and 10 is DECIMAL(2, 0)" (section III-D2).
+        assert DecimalValue.from_literal("1.23").spec == DecimalSpec(3, 2)
+        assert DecimalValue.from_literal(10).spec == DecimalSpec(2, 0)
+
+    def test_from_literal_with_spec(self):
+        value = DecimalValue.from_literal("-1.23", DecimalSpec(10, 2))
+        assert value.unscaled == -123
+        assert str(value) == "-1.23"
+
+    def test_float_uses_decimal_repr(self):
+        # 0.1 must become exactly 0.1, not its binary expansion (Figure 1).
+        value = DecimalValue.from_literal(0.1, DecimalSpec(5, 3))
+        assert value.unscaled == 100
+
+    def test_overflow_raises(self):
+        with pytest.raises(PrecisionOverflowError):
+            DecimalValue.from_unscaled(10000, DecimalSpec(4, 2))
+
+    def test_zero_is_not_negative(self):
+        value = DecimalValue.from_literal("-0.00", DecimalSpec(4, 2))
+        assert not value.negative
+        assert value.is_zero
+
+    def test_str_roundtrip(self):
+        for text in ["0.01", "-123.456", "7", "-0.5", "99999.99999"]:
+            value = DecimalValue.from_literal(text)
+            assert str(value) == text
+
+
+class TestAddSub:
+    def test_paper_alignment_example(self):
+        # 1.23 (4,2) + 0.1 (3,1): 0.1 aligns to 0.10, sum 1.33.
+        a = DecimalValue.from_literal("1.23", DecimalSpec(4, 2))
+        b = DecimalValue.from_literal("0.1", DecimalSpec(3, 1))
+        assert str(a + b) == "1.33"
+
+    @given(decimals(), decimals())
+    @settings(max_examples=150, deadline=None)
+    def test_add_matches_fraction(self, a, b):
+        assert fraction(a + b) == fraction(a) + fraction(b)
+
+    @given(decimals(), decimals())
+    @settings(max_examples=150, deadline=None)
+    def test_sub_matches_fraction(self, a, b):
+        assert fraction(a - b) == fraction(a) - fraction(b)
+
+    @given(decimals())
+    def test_neg_is_involution(self, a):
+        assert fraction(-(-a)) == fraction(a)
+
+    def test_mixed_signs_pick_larger_minuend(self):
+        a = DecimalValue.from_literal("5.00")
+        b = DecimalValue.from_literal("-7.25")
+        assert str(a + b) == "-2.25"
+        assert str(b + a) == "-2.25"
+
+    def test_cancellation_to_zero(self):
+        a = DecimalValue.from_literal("123.45")
+        result = a - a
+        assert result.is_zero and not result.negative
+
+
+class TestMul:
+    @given(decimals(max_precision=18), decimals(max_precision=18))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_fraction(self, a, b):
+        assert fraction(a * b) == fraction(a) * fraction(b)
+
+    def test_spec_follows_rule(self):
+        a = DecimalValue.from_literal("1.5")
+        b = DecimalValue.from_literal("2.25")
+        assert (a * b).spec == inference.mul_result(a.spec, b.spec)
+
+    def test_sign_of_product(self):
+        a = DecimalValue.from_literal("-3")
+        b = DecimalValue.from_literal("4")
+        assert (a * b).unscaled == -12
+        assert (a * a).unscaled == 9
+
+
+class TestDiv:
+    def test_truncates_at_s1_plus_4(self):
+        a = DecimalValue.from_literal("1", DecimalSpec(5, 0))
+        b = DecimalValue.from_literal("3", DecimalSpec(5, 0))
+        result = a / b
+        assert result.spec.scale == 4
+        assert str(result) == "0.3333"
+
+    @given(decimals(max_precision=15), decimals(max_precision=12))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_truncated_fraction(self, a, b):
+        assume(not b.is_zero)
+        result_spec = inference.div_result(a.spec, b.spec)
+        exact = Fraction(a.unscaled * 10 ** inference.div_prescale(b.spec), 1) / Fraction(
+            abs(b.unscaled), 1
+        )
+        expected_magnitude = abs(a.unscaled) * 10 ** inference.div_prescale(b.spec) // abs(
+            b.unscaled
+        )
+        # Only compare when the quotient fits the paper-rule container.
+        assume(result_spec.fits(expected_magnitude))
+        result = a / b
+        sign = -1 if (a.unscaled < 0) != (b.unscaled < 0) and expected_magnitude else 1
+        assert result.unscaled == sign * expected_magnitude
+
+    def test_divide_by_zero(self):
+        a = DecimalValue.from_literal("1")
+        with pytest.raises(DivisionByZeroError):
+            a / DecimalValue.from_literal("0")
+
+    def test_container_wrap_semantics(self):
+        # A denormalised divisor (tiny value in a wide spec) overflows the
+        # paper-rule container; the value wraps like the Lw-word register.
+        a = DecimalValue.from_unscaled(999999999, DecimalSpec(10, 2))
+        b = DecimalValue.from_unscaled(1, DecimalSpec(10, 1))
+        result = a / b
+        spec = inference.div_result(a.spec, b.spec)
+        expected = (999999999 * 10**5) % (1 << (32 * spec.words))
+        assert abs(result.unscaled) == expected
+
+
+class TestMod:
+    def test_integer_modulo(self):
+        a = DecimalValue.from_literal(17)
+        b = DecimalValue.from_literal(5)
+        assert (a % b).unscaled == 2
+
+    @given(
+        st.integers(min_value=-(10**17), max_value=10**17),
+        st.integers(min_value=1, max_value=10**15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sign_follows_dividend(self, a_int, b_int):
+        a = DecimalValue.from_unscaled(a_int, DecimalSpec(18, 0))
+        b = DecimalValue.from_unscaled(b_int, DecimalSpec(16, 0))
+        result = a % b
+        expected = abs(a_int) % b_int
+        assert result.unscaled == (-expected if a_int < 0 else expected)
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(DivisionByZeroError):
+            DecimalValue.from_literal(5) % DecimalValue.from_literal(0)
+
+
+class TestComparison:
+    @given(decimals(), decimals())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_fraction_order(self, a, b):
+        fa, fb = fraction(a), fraction(b)
+        assert (a < b) == (fa < fb)
+        assert (a == b) == (fa == fb)
+        assert (a >= b) == (fa >= fb)
+
+    def test_cross_scale_equality(self):
+        a = DecimalValue.from_literal("1.5", DecimalSpec(5, 1))
+        b = DecimalValue.from_literal("1.50", DecimalSpec(8, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sorting(self):
+        values = [DecimalValue.from_literal(t) for t in ["3.5", "-2", "0", "3.49"]]
+        ordered = sorted(values)
+        assert [str(v) for v in ordered] == ["-2", "0", "3.49", "3.5"]
+
+
+class TestRescale:
+    def test_upward_alignment_multiplies(self):
+        value = DecimalValue.from_literal("0.1", DecimalSpec(3, 1))
+        assert value.rescale(2).unscaled == 10
+
+    def test_downward_alignment_truncates(self):
+        value = DecimalValue.from_literal("1.29", DecimalSpec(4, 2))
+        assert value.rescale(1).unscaled == 12
+
+    @given(decimals(max_precision=12), st.integers(min_value=0, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_upward_preserves_value(self, value, extra):
+        rescaled = value.rescale(value.spec.scale + extra)
+        assert fraction(rescaled) == fraction(value)

@@ -1,0 +1,183 @@
+"""Tests for vectorised column arithmetic against the scalar oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import inference
+from repro.core.decimal import vectorized as vz
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.value import DecimalValue
+from repro.core.decimal.vectorized import DecimalVector
+from repro.errors import DivisionByZeroError, PrecisionOverflowError
+
+
+def column(draw_values, spec):
+    return DecimalVector.from_unscaled(draw_values, spec)
+
+
+@st.composite
+def vector_pairs(draw, max_precision=24, max_rows=25):
+    p1 = draw(st.integers(min_value=1, max_value=max_precision))
+    s1 = draw(st.integers(min_value=0, max_value=p1))
+    p2 = draw(st.integers(min_value=1, max_value=max_precision))
+    s2 = draw(st.integers(min_value=0, max_value=p2))
+    spec_a, spec_b = DecimalSpec(p1, s1), DecimalSpec(p2, s2)
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    a_values = draw(
+        st.lists(
+            st.integers(min_value=-spec_a.max_unscaled, max_value=spec_a.max_unscaled),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    b_values = draw(
+        st.lists(
+            st.integers(min_value=-spec_b.max_unscaled, max_value=spec_b.max_unscaled),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    return column(a_values, spec_a), column(b_values, spec_b)
+
+
+def scalar_rows(vector):
+    return [DecimalValue.from_unscaled(u, vector.spec) for u in vector.to_unscaled()]
+
+
+class TestRoundtrip:
+    @given(vector_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_unscaled_roundtrip(self, pair):
+        vector, _ = pair
+        assert DecimalVector.from_unscaled(vector.to_unscaled(), vector.spec).to_unscaled() == vector.to_unscaled()
+
+    @given(vector_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_compact_roundtrip(self, pair):
+        vector, _ = pair
+        assert DecimalVector.from_compact(vector.to_compact(), vector.spec).to_unscaled() == vector.to_unscaled()
+
+    def test_overflow_rejected(self):
+        with pytest.raises(PrecisionOverflowError):
+            DecimalVector.from_unscaled([100], DecimalSpec(2, 0))
+
+    def test_container_constructor_wraps(self):
+        spec = DecimalSpec(2, 0)  # one word
+        huge = (1 << 32) + 5
+        vector = DecimalVector.from_unscaled_container([huge, -huge], spec)
+        assert vector.to_unscaled() == [5, -5]
+
+    def test_broadcast(self):
+        spec = DecimalSpec(4, 2)
+        vector = DecimalVector.broadcast(True, [123], spec, 5)
+        assert vector.to_unscaled() == [-123] * 5
+
+
+class TestMatchesScalar:
+    @given(vector_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_add(self, pair):
+        a, b = pair
+        expected = [x + y for x, y in zip(scalar_rows(a), scalar_rows(b))]
+        result = vz.add(a, b)
+        assert result.spec == expected[0].spec
+        assert result.to_unscaled() == [v.unscaled for v in expected]
+
+    @given(vector_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_sub(self, pair):
+        a, b = pair
+        expected = [x - y for x, y in zip(scalar_rows(a), scalar_rows(b))]
+        assert vz.sub(a, b).to_unscaled() == [v.unscaled for v in expected]
+
+    @given(vector_pairs(max_precision=18))
+    @settings(max_examples=80, deadline=None)
+    def test_mul(self, pair):
+        a, b = pair
+        expected = [x * y for x, y in zip(scalar_rows(a), scalar_rows(b))]
+        assert vz.mul(a, b).to_unscaled() == [v.unscaled for v in expected]
+
+    @given(vector_pairs(max_precision=14, max_rows=10))
+    @settings(max_examples=50, deadline=None)
+    def test_div(self, pair):
+        a, b = pair
+        assume(all(v != 0 for v in b.to_unscaled()))
+        expected = [x / y for x, y in zip(scalar_rows(a), scalar_rows(b))]
+        result = vz.div(a, b)
+        assert result.spec == expected[0].spec
+        assert result.to_unscaled() == [v.unscaled for v in expected]
+
+    @given(vector_pairs(max_precision=14, max_rows=10))
+    @settings(max_examples=50, deadline=None)
+    def test_compare(self, pair):
+        a, b = pair
+        expected = [x.compare(y) for x, y in zip(scalar_rows(a), scalar_rows(b))]
+        assert vz.compare(a, b).tolist() == expected
+
+    @given(vector_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_neg(self, pair):
+        a, _ = pair
+        assert vz.neg(a).to_unscaled() == [-v for v in a.to_unscaled()]
+
+
+class TestMod:
+    def test_matches_scalar(self):
+        spec = DecimalSpec(18, 0)
+        a = DecimalVector.from_unscaled([17, -17, 100, 0], spec)
+        b = DecimalVector.from_unscaled([5, 5, 7, 3], spec)
+        assert vz.mod(a, b).to_unscaled() == [2, -2, 2, 0]
+
+    def test_zero_divisor_raises(self):
+        spec = DecimalSpec(18, 0)
+        a = DecimalVector.from_unscaled([17], spec)
+        b = DecimalVector.from_unscaled([0], spec)
+        with pytest.raises(DivisionByZeroError):
+            vz.mod(a, b)
+
+
+class TestRescale:
+    def test_upward(self):
+        spec = DecimalSpec(4, 1)
+        vector = DecimalVector.from_unscaled([11, -25], spec)
+        rescaled = vector.rescale(3)
+        assert rescaled.spec.scale == 3
+        assert rescaled.to_unscaled() == [1100, -2500]
+
+    def test_downward_truncates(self):
+        spec = DecimalSpec(6, 3)
+        vector = DecimalVector.from_unscaled([1999, -1999], spec)
+        rescaled = vector.rescale(1)
+        assert rescaled.to_unscaled() == [19, -19]
+
+    def test_with_spec_pads_words(self):
+        narrow = DecimalVector.from_unscaled([5, -7], DecimalSpec(4, 2))
+        wide = narrow.with_spec(DecimalSpec(40, 2))
+        assert wide.words.shape[1] == DecimalSpec(40, 2).words
+        assert wide.to_unscaled() == [5, -7]
+
+    def test_with_spec_overflow_raises(self):
+        wide = DecimalVector.from_unscaled([10**20], DecimalSpec(21, 0))
+        with pytest.raises(PrecisionOverflowError):
+            wide.with_spec(DecimalSpec(9, 0))
+
+
+class TestWideColumns:
+    def test_len32_add_carry_chain(self):
+        # Exercise the full 32-limb carry chain of the LEN=32 configuration.
+        spec = DecimalSpec(307, 2)
+        big = spec.max_unscaled
+        a = DecimalVector.from_unscaled([big, -big, big // 2], spec)
+        b = DecimalVector.from_unscaled([big, big, big // 3], spec)
+        result = vz.add(a, b)
+        assert result.to_unscaled() == [2 * big, 0, big // 2 + big // 3]
+
+    def test_len16_multiplication(self):
+        spec = DecimalSpec(153, 0)
+        a_value = 10**150 + 12345
+        b_value = 10**100 + 67890
+        a = DecimalVector.from_unscaled([a_value], spec)
+        b = DecimalVector.from_unscaled([b_value], spec)
+        assert vz.mul(a, b).to_unscaled() == [a_value * b_value]

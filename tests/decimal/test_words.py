@@ -1,0 +1,123 @@
+"""Tests for the multi-word limb arithmetic (carry chains, bfind, pow10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import words as w
+from repro.core.decimal.context import WORD_BASE
+
+
+def ints(max_words=8):
+    return st.integers(min_value=0, max_value=(1 << (32 * max_words)) - 1)
+
+
+class TestRoundtrip:
+    @given(ints())
+    def test_from_to_int(self, value):
+        assert w.to_int(w.from_int(value, 8)) == value
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            w.from_int(WORD_BASE, 1)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            w.from_int(-1, 2)
+
+    def test_zero(self):
+        assert w.is_zero(w.zero(4))
+        assert not w.is_zero([0, 1, 0])
+
+
+class TestAddSub:
+    @given(ints(4), ints(4))
+    def test_add_matches_int(self, a, b):
+        out, carry = w.add(w.from_int(a, 4), w.from_int(b, 4), 4)
+        assert w.to_int(out) + (carry << 128) == a + b
+
+    @given(ints(4), ints(4))
+    def test_sub_matches_int(self, a, b):
+        big, small = max(a, b), min(a, b)
+        out, borrow = w.sub(w.from_int(big, 4), w.from_int(small, 4), 4)
+        assert borrow == 0
+        assert w.to_int(out) == big - small
+
+    def test_sub_borrow_out(self):
+        out, borrow = w.sub(w.from_int(1, 2), w.from_int(2, 2), 2)
+        assert borrow == 1  # wrapped, like subc
+
+    def test_carry_chain_across_all_words(self):
+        # all-ones + 1 ripples a carry through every limb.
+        all_ones = [0xFFFFFFFF] * 4
+        out, carry = w.add(all_ones, w.from_int(1, 4), 4)
+        assert w.is_zero(out) and carry == 1
+
+    @given(ints(4), ints(4))
+    def test_compare_matches_int(self, a, b):
+        result = w.compare(w.from_int(a, 4), w.from_int(b, 4))
+        assert result == (a > b) - (a < b)
+
+    def test_compare_mixed_lengths(self):
+        assert w.compare([5], [5, 0, 0]) == 0
+        assert w.compare([0, 1], [5]) == 1
+
+
+class TestMul:
+    @given(ints(4), ints(4))
+    def test_schoolbook_matches_int(self, a, b):
+        product = w.mul(w.from_int(a, 4), w.from_int(b, 4))
+        assert len(product) == 8
+        assert w.to_int(product) == a * b
+
+    @given(ints(3), st.integers(min_value=0, max_value=WORD_BASE - 1))
+    def test_mul_small(self, a, factor):
+        out, carry = w.mul_small(w.from_int(a, 3), factor, 3)
+        assert w.to_int(out) + (carry << 96) == a * factor
+
+    def test_mul_small_rejects_wide_factor(self):
+        with pytest.raises(ValueError):
+            w.mul_small([1], WORD_BASE, 1)
+
+    @given(ints(3), st.integers(min_value=0, max_value=2))
+    def test_shift_words_left(self, a, count):
+        out = w.shift_words_left(w.from_int(a, 3), count, 6)
+        assert w.to_int(out) == a << (32 * count)
+
+
+class TestBfind:
+    def test_zero_is_minus_one(self):
+        assert w.bfind([0, 0, 0]) == -1
+
+    @given(st.integers(min_value=1, max_value=(1 << 256) - 1))
+    def test_matches_bit_length(self, value):
+        assert w.bfind(w.from_int(value, 8)) == value.bit_length() - 1
+
+    def test_word_boundaries(self):
+        assert w.bfind([0, 1]) == 32
+        assert w.bfind([0x80000000]) == 31
+
+
+class TestPow10:
+    @given(ints(2), st.integers(min_value=0, max_value=20))
+    def test_mul_pow10_matches_int(self, a, exponent):
+        width = 8
+        if a * 10**exponent >= 1 << (32 * width):
+            with pytest.raises(OverflowError):
+                w.mul_pow10(w.from_int(a, 2), exponent, width)
+        else:
+            out = w.mul_pow10(w.from_int(a, 2), exponent, width)
+            assert w.to_int(out) == a * 10**exponent
+
+    @given(ints(4), st.integers(min_value=0, max_value=15))
+    def test_div_pow10_truncates(self, a, exponent):
+        out = w.div_pow10(w.from_int(a, 4), exponent, 4)
+        assert w.to_int(out) == a // 10**exponent
+
+    def test_pow10_words_needed(self):
+        assert w.pow10_words_needed(0) == 1
+        assert w.pow10_words_needed(9) == 1
+        assert w.pow10_words_needed(10) == 2
+        for exponent in range(1, 60):
+            needed = w.pow10_words_needed(exponent)
+            assert 10**exponent < 1 << (32 * needed)

@@ -1,0 +1,92 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.engine.sql.ast_nodes import AggregateCall, Comparison, OrderKey
+from repro.engine.sql.parser import parse_query
+from repro.errors import ParseError
+
+
+class TestSelect:
+    def test_simple_projection(self):
+        query = parse_query("SELECT c1 + c2 FROM r")
+        assert query.table == "r"
+        assert len(query.select_items) == 1
+        assert query.select_items[0].expression == "c1 + c2"
+
+    def test_multiple_items(self):
+        query = parse_query("SELECT c1 + c2 + c3 + c4, c5 + c6 FROM R2")
+        assert [i.expression for i in query.select_items] == ["c1 + c2 + c3 + c4", "c5 + c6"]
+
+    def test_aggregates(self):
+        query = parse_query("SELECT SUM(c1), AVG(c1 + c2), COUNT(*) FROM r")
+        calls = [item.expression for item in query.select_items]
+        assert calls[0] == AggregateCall("SUM", "c1")
+        assert calls[1] == AggregateCall("AVG", "c1 + c2")
+        assert calls[2] == AggregateCall("COUNT", "*")
+
+    def test_alias(self):
+        query = parse_query("SELECT SUM(a) AS total FROM r")
+        assert query.select_items[0].alias == "total"
+        assert query.select_items[0].name == "total"
+
+    def test_parenthesised_expression(self):
+        query = parse_query("SELECT l_extendedprice * (1 - l_discount) FROM lineitem")
+        assert query.select_items[0].expression == "l_extendedprice * ( 1 - l_discount )"
+
+    def test_modulo_expression(self):
+        query = parse_query("SELECT c1 * c1 % 97 * c1 % 97 FROM R4")
+        assert "%" in query.select_items[0].expression
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select sum(a) from r group by g order by g desc")
+        assert query.group_by == ["g"]
+        assert query.order_by == [OrderKey("g", ascending=False)]
+
+
+class TestClauses:
+    def test_where(self):
+        query = parse_query("SELECT a FROM r WHERE d <= '1998-09-02' AND q > 5")
+        assert query.where == [
+            Comparison("d", "<=", "1998-09-02"),
+            Comparison("q", ">", 5),
+        ]
+
+    def test_where_float_literal(self):
+        query = parse_query("SELECT a FROM r WHERE x < 0.5")
+        assert query.where[0].literal == 0.5
+
+    def test_group_by_multiple(self):
+        query = parse_query("SELECT g1, g2, SUM(a) FROM r GROUP BY g1, g2")
+        assert query.group_by == ["g1", "g2"]
+
+    def test_order_by_multiple(self):
+        query = parse_query("SELECT a FROM r ORDER BY x ASC, y DESC")
+        assert query.order_by == [OrderKey("x", True), OrderKey("y", False)]
+
+    def test_tpch_q1_parses(self):
+        from repro.workloads.tpch_queries import Q1_SQL
+
+        query = parse_query(Q1_SQL)
+        assert query.table == "lineitem"
+        assert len(query.aggregates) == 8
+        assert query.group_by == ["l_returnflag", "l_linestatus"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT FROM r",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM r WHERE",
+            "SELECT a FROM r GROUP",
+            "FROM r SELECT a",
+            "SELECT a FROM r WHERE x ! 1",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)

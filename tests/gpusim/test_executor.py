@@ -1,0 +1,118 @@
+"""Tests for the kernel executor (correctness + report plumbing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.vectorized import DecimalVector
+from repro.core.jit import JitOptions, compile_expression
+from repro.errors import ExecutionError
+from repro.gpusim import execute
+
+
+def run_expression(text, columns_spec, values, simulate=None, options=None):
+    columns = {}
+    rows = None
+    for name, (spec, vals) in columns_spec.items():
+        vector = DecimalVector.from_unscaled(vals, spec)
+        columns[name] = vector.to_compact()
+        rows = len(vals)
+    compiled = compile_expression(text, {n: s for n, (s, _) in columns_spec.items()},
+                                  options or JitOptions())
+    run = execute(compiled.kernel, columns, rows, simulate_tuples=simulate)
+    return run
+
+
+class TestCorrectness:
+    def test_listing1(self):
+        run = run_expression(
+            "c1 + c2",
+            {
+                "c1": (DecimalSpec(4, 2), [123, -50]),
+                "c2": (DecimalSpec(4, 1), [11, 999]),
+            },
+            None,
+        )
+        # 1.23 + 1.1 = 2.33 ; -0.50 + 99.9 = 99.40
+        assert run.result.to_unscaled() == [233, 9940]
+        assert run.result.spec == DecimalSpec(6, 2)
+
+    @given(
+        st.lists(st.integers(min_value=-(10**11), max_value=10**11), min_size=1, max_size=20)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_polynomial_matches_oracle(self, values):
+        spec = DecimalSpec(12, 2)
+        run = run_expression(
+            "a * a + 2 * a - a * 3",
+            {"a": (spec, values)},
+            None,
+        )
+        got = run.result.to_unscaled()
+        scale = run.result.spec.scale
+        for value, result in zip(values, got):
+            # exact rational: a^2 + 2a - 3a at the result scale
+            exact = value * value * 10 ** (scale - 4) + (2 * value - 3 * value) * 10 ** (
+                scale - 2
+            )
+            assert result == exact
+
+    def test_division_kernel(self):
+        run = run_expression(
+            "a / b",
+            {
+                "a": (DecimalSpec(10, 2), [100, 333, -500]),
+                "b": (DecimalSpec(4, 1), [5, 30, 25]),  # divisors 0.5, 3.0, 2.5
+            },
+            None,
+        )
+        # scale s1+4 = 6: 1.00/0.5=2.0, 3.33/3.0=1.11, -5.00/2.5=-2.0
+        assert run.result.to_unscaled() == [2000000, 1110000, -2000000]
+
+    def test_modulo_kernel(self):
+        run = run_expression(
+            "a % b",
+            {
+                "a": (DecimalSpec(10, 0), [17, 100, -7]),
+                "b": (DecimalSpec(5, 0), [5, 9, 3]),
+            },
+            None,
+        )
+        assert run.result.to_unscaled() == [2, 1, -1]
+
+    def test_column_reuse_loads_once(self):
+        """CSE: a + a + a loads column a exactly once."""
+        from repro.core.jit import ir
+
+        compiled = compile_expression("a + a + a", {"a": DecimalSpec(8, 1)})
+        loads = [i for i in compiled.kernel.instructions if isinstance(i, ir.LoadColumn)]
+        assert len(loads) == 1
+
+    def test_unary_negation(self):
+        run = run_expression("-a + 1", {"a": (DecimalSpec(6, 0), [5, -3, 0])}, None)
+        assert run.result.to_unscaled() == [-4, 4, 1]
+
+
+class TestReporting:
+    def test_simulate_tuples_scales_time_not_values(self):
+        spec = DecimalSpec(8, 2)
+        small = run_expression("a + a", {"a": (spec, [100, 200])}, None, simulate=2)
+        big = run_expression("a + a", {"a": (spec, [100, 200])}, None, simulate=10_000_000)
+        assert small.result.to_unscaled() == big.result.to_unscaled()
+        small_work = small.timing.seconds - small.timing.launch_seconds
+        big_work = big.timing.seconds - big.timing.launch_seconds
+        assert big_work > small_work * 1000
+
+    def test_missing_column_raises(self):
+        compiled = compile_expression("a + 1", {"a": DecimalSpec(6, 0)})
+        with pytest.raises(ExecutionError):
+            execute(compiled.kernel, {}, 3)
+
+    def test_row_count_mismatch_raises(self):
+        spec = DecimalSpec(6, 0)
+        vector = DecimalVector.from_unscaled([1, 2, 3], spec)
+        compiled = compile_expression("a + 1", {"a": spec})
+        with pytest.raises(ExecutionError):
+            execute(compiled.kernel, {"a": vector.to_compact()}, 5)

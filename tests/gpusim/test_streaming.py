@@ -1,0 +1,94 @@
+"""Tests for chunked execution with transfer/compute overlap."""
+
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.vectorized import DecimalVector
+from repro.core.jit import compile_expression
+from repro.errors import ExecutionError
+from repro.gpusim import execute
+from repro.gpusim.streaming import execute_streamed
+
+SPEC = DecimalSpec(30, 2)
+
+
+def setup(rows=100):
+    schema = {"a": SPEC, "b": SPEC}
+    compiled = compile_expression("a + b * 2", schema)
+    values_a = [i * 7 - 50 for i in range(rows)]
+    values_b = [i * 3 + 1 for i in range(rows)]
+    columns = {
+        "a": DecimalVector.from_unscaled(values_a, SPEC).to_compact(),
+        "b": DecimalVector.from_unscaled(values_b, SPEC).to_compact(),
+    }
+    expected = [a + 2 * b for a, b in zip(values_a, values_b)]
+    return compiled.kernel, columns, expected
+
+
+class TestCorrectness:
+    def test_matches_monolithic(self):
+        kernel, columns, expected = setup(rows=100)
+        run = execute_streamed(
+            kernel, columns, 100, simulate_tuples=10_000_000, chunk_rows=1_000_000
+        )
+        assert run.result.to_unscaled() == expected
+        assert run.chunks == 10
+
+    def test_single_chunk(self):
+        kernel, columns, expected = setup(rows=10)
+        run = execute_streamed(kernel, columns, 10, simulate_tuples=500_000)
+        assert run.chunks == 1
+        assert run.result.to_unscaled() == expected
+
+    def test_uneven_chunks(self):
+        kernel, columns, expected = setup(rows=97)
+        run = execute_streamed(
+            kernel, columns, 97, simulate_tuples=10_000_000, chunk_rows=3_000_000
+        )
+        assert run.result.to_unscaled() == expected
+
+    def test_bad_chunk_rows(self):
+        kernel, columns, _ = setup(rows=5)
+        with pytest.raises(ExecutionError):
+            execute_streamed(kernel, columns, 5, simulate_tuples=10, chunk_rows=0)
+
+
+class TestOverlapModel:
+    def test_pipelining_beats_serial(self):
+        kernel, columns, _ = setup(rows=20)
+        run = execute_streamed(
+            kernel, columns, 20, simulate_tuples=10_000_000, chunk_rows=1_000_000
+        )
+        assert run.pipelined_seconds < run.serial_seconds
+        assert run.overlap_speedup > 1.1
+
+    def test_balanced_stages_approach_2x(self):
+        """When transfer and kernel times balance, overlap nears 2x."""
+        # Wide multiplication: the kernel's device-memory time (reads plus
+        # the 32-word product write-back) balances the input PCIe transfer.
+        spec = DecimalSpec(153, 2)
+        schema = {"a": spec, "b": spec}
+        compiled = compile_expression("a * b", schema)
+        values = [10**100 + i for i in range(8)]
+        divisors = [10**99 + 7 * i + 1 for i in range(8)]
+        columns = {
+            "a": DecimalVector.from_unscaled(values, spec).to_compact(),
+            "b": DecimalVector.from_unscaled(divisors, spec).to_compact(),
+        }
+        run = execute_streamed(
+            compiled.kernel, columns, 8, simulate_tuples=20_000_000, chunk_rows=1_000_000
+        )
+        assert run.overlap_speedup > 1.5
+
+    def test_speedup_bounded_by_two(self):
+        # Perfect two-stage pipelining can at most halve the time.
+        kernel, columns, _ = setup(rows=20)
+        run = execute_streamed(
+            kernel, columns, 20, simulate_tuples=20_000_000, chunk_rows=1_000_000
+        )
+        assert run.overlap_speedup <= 2.0 + 1e-9
+
+    def test_one_chunk_has_no_overlap(self):
+        kernel, columns, _ = setup(rows=20)
+        run = execute_streamed(kernel, columns, 20, simulate_tuples=100_000)
+        assert run.pipelined_seconds == pytest.approx(run.serial_seconds)

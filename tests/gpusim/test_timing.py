@@ -1,0 +1,168 @@
+"""Tests for the GPU simulator's occupancy, memory and timing models."""
+
+import pytest
+
+from repro.core.decimal.context import PAPER_RESULT_PRECISIONS, DecimalSpec
+from repro.core.jit import JitOptions, compile_expression
+from repro.core.jit import ir
+from repro.gpusim import kernel_time, occupancy, pcie_time, profile_kernel
+from repro.gpusim.device import DEFAULT_DEVICE, GpuDevice
+from repro.gpusim import memory, timing
+
+
+def add_kernel(length, tpi=1):
+    precision = PAPER_RESULT_PRECISIONS[length] - 1
+    schema = {"a": DecimalSpec(precision, 2), "b": DecimalSpec(precision, 2)}
+    return compile_expression("a + b", schema, JitOptions(tpi=tpi)).kernel
+
+
+def mul_kernel(length):
+    precision = PAPER_RESULT_PRECISIONS[length]
+    half = precision // 2
+    schema = {"a": DecimalSpec(half, 2), "b": DecimalSpec(precision - half, 2)}
+    return compile_expression("a * b", schema).kernel
+
+
+def div_kernel(length, tpi=1):
+    precision = PAPER_RESULT_PRECISIONS[length]
+    divisor = DecimalSpec(9, 2)
+    dividend = DecimalSpec(precision + divisor.precision - divisor.scale - 5, 2)
+    return compile_expression("a / b", {"a": dividend, "b": divisor}, JitOptions(tpi=tpi)).kernel
+
+
+class TestOccupancy:
+    def test_full_at_low_precision(self):
+        occ = occupancy.compute(add_kernel(8), DEFAULT_DEVICE)
+        assert occ.occupancy == pytest.approx(1.0)
+
+    def test_drops_at_len32(self):
+        """Paper: LEN=32 additions run at ~50% occupancy."""
+        occ = occupancy.compute(add_kernel(32), DEFAULT_DEVICE)
+        assert 0.35 <= occ.occupancy <= 0.65
+
+    def test_mul_drops_more_than_add(self):
+        """Paper: multiplication occupancy falls to 33% (scratch registers)."""
+        occ_add = occupancy.compute(add_kernel(32), DEFAULT_DEVICE)
+        occ_mul = occupancy.compute(mul_kernel(32), DEFAULT_DEVICE)
+        assert occ_mul.occupancy < occ_add.occupancy
+
+    def test_tpi_relieves_register_pressure(self):
+        solo = occupancy.compute(add_kernel(32, tpi=1), DEFAULT_DEVICE)
+        grouped = occupancy.compute(add_kernel(32, tpi=8), DEFAULT_DEVICE)
+        assert grouped.registers_per_thread < solo.registers_per_thread
+        assert grouped.occupancy >= solo.occupancy
+
+    def test_whole_warps(self):
+        occ = occupancy.compute(add_kernel(32), DEFAULT_DEVICE)
+        assert occ.threads_per_sm % DEFAULT_DEVICE.warp_size == 0
+
+
+class TestMemoryModel:
+    def test_compact_smaller_than_non_compact(self):
+        kernel = add_kernel(32)
+        compact = memory.profile(kernel, non_compact=False)
+        wide = memory.profile(kernel, non_compact=True)
+        assert compact < wide
+
+    def test_bytes_scale_with_len(self):
+        assert memory.profile(add_kernel(32)) > memory.profile(add_kernel(4))
+
+    def test_coalescing_improves_with_tpi(self):
+        solo = memory.coalescing_factor(add_kernel(32, tpi=1), DEFAULT_DEVICE)
+        grouped = memory.coalescing_factor(add_kernel(32, tpi=8), DEFAULT_DEVICE)
+        assert grouped > solo
+
+    def test_narrow_access_fully_coalesced(self):
+        assert memory.coalescing_factor(add_kernel(2, tpi=4), DEFAULT_DEVICE) == 1.0
+
+
+class TestKernelTiming:
+    def test_linear_in_tuples(self):
+        kernel = add_kernel(8)
+        t1 = kernel_time(kernel, 1_000_000)
+        t10 = kernel_time(kernel, 10_000_000)
+        ratio = (t10.seconds - t10.launch_seconds) / (t1.seconds - t1.launch_seconds)
+        assert ratio == pytest.approx(10.0, rel=0.01)
+
+    def test_addition_is_memory_bound(self):
+        """Paper section IV-A: simple arithmetic is memory-intensive."""
+        for length in (4, 8, 32):
+            t = kernel_time(add_kernel(length), 10_000_000)
+            assert t.memory_bound
+
+    def test_fig13_add_anchors(self):
+        """LEN=32 single-threaded add ~50 ms; TPI=8 roughly halves it."""
+        solo = kernel_time(add_kernel(32, tpi=1), 10_000_000).seconds
+        grouped = kernel_time(add_kernel(32, tpi=8), 10_000_000).seconds
+        assert 0.035 <= solo <= 0.070  # paper: 49.67 ms
+        assert 0.015 <= grouped <= 0.035  # paper: 23.67 ms
+        assert grouped < solo
+
+    def test_fig13_low_precision_parity(self):
+        """At LEN=4, single and multi-threaded adds are comparable."""
+        solo = kernel_time(add_kernel(4, tpi=1), 10_000_000).seconds
+        grouped = kernel_time(add_kernel(4, tpi=4), 10_000_000).seconds
+        assert grouped == pytest.approx(solo, rel=0.8)
+
+    def test_division_much_slower_single_threaded(self):
+        div = kernel_time(div_kernel(16, tpi=1), 10_000_000).seconds
+        add = kernel_time(add_kernel(16, tpi=1), 10_000_000).seconds
+        assert div > 3 * add
+
+    def test_newton_raphson_beats_binary_search_at_high_len(self):
+        solo = kernel_time(div_kernel(32, tpi=1), 10_000_000).seconds
+        grouped = kernel_time(div_kernel(32, tpi=8), 10_000_000).seconds
+        assert grouped < solo / 5
+
+    def test_alignment_costs_show_up(self):
+        """The Figure 10 premise: alignments measurably slow kernels."""
+        schema = {"a": DecimalSpec(290, 1), "b": DecimalSpec(18, 11)}
+        with_align = compile_expression(
+            "a + b + a", schema, JitOptions(alignment_scheduling=False)
+        ).kernel
+        without = compile_expression("a + b + a", schema).kernel
+        assert with_align.alignment_ops() > without.alignment_ops()
+        t_with = kernel_time(with_align, 10_000_000).seconds
+        t_without = kernel_time(without, 10_000_000).seconds
+        assert t_without < t_with
+
+
+class TestPcie:
+    def test_zero_bytes_free(self):
+        assert pcie_time(0) == 0.0
+
+    def test_latency_floor(self):
+        assert pcie_time(1) >= DEFAULT_DEVICE.pcie_latency
+
+    def test_bandwidth(self):
+        a_gb = pcie_time(10**9)
+        assert a_gb == pytest.approx(DEFAULT_DEVICE.pcie_latency + 1e9 / DEFAULT_DEVICE.pcie_bandwidth)
+
+
+class TestCompileModel:
+    def test_empty(self):
+        assert timing.compile_time([]) == 0.0
+
+    def test_base_once(self):
+        kernel = add_kernel(4)
+        with_base = timing.compile_time([kernel])
+        without = timing.compile_time([kernel], include_base=False)
+        assert with_base - without == pytest.approx(timing.COMPILE_BASE_SECONDS)
+
+    def test_longer_code_costs_more(self):
+        assert timing.compile_time([add_kernel(32)]) > timing.compile_time([add_kernel(2)])
+
+
+class TestProfiler:
+    def test_section_iv_a_shape(self):
+        """Single-digit SM util, memory bound, occupancy drop at LEN=32."""
+        profile8 = profile_kernel(add_kernel(8))
+        profile32 = profile_kernel(add_kernel(32))
+        assert profile8.memory_bound and profile32.memory_bound
+        assert profile8.sm_utilization_percent < 10
+        assert profile8.warp_occupancy_percent == pytest.approx(100.0)
+        assert profile32.warp_occupancy_percent < 70
+
+    def test_str_renders(self):
+        text = str(profile_kernel(add_kernel(8)))
+        assert "occupancy" in text and "memory-bound" in text

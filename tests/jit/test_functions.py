@@ -1,0 +1,173 @@
+"""Tests for scalar functions (ABS/SIGN/ROUND/TRUNC/CEIL/FLOOR)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.vectorized import DecimalVector
+from repro.core.jit import compile_expression
+from repro.core.jit.parser import parse_expression
+from repro.core.jit.expr_ast import FuncCall, Literal
+from repro.errors import ParseError
+from repro.gpusim import execute
+
+SPEC = DecimalSpec(10, 3)
+SCHEMA = {"x": SPEC}
+
+
+def run(expression, values, spec=SPEC):
+    compiled = compile_expression(expression, {"x": spec})
+    columns = {"x": DecimalVector.from_unscaled(values, spec).to_compact()}
+    inputs = {n: columns[n] for n in compiled.kernel.input_columns}
+    return execute(compiled.kernel, inputs, len(values)).result
+
+
+class TestParsing:
+    def test_function_call(self):
+        tree = parse_expression("ABS(x + 1)")
+        assert isinstance(tree, FuncCall)
+        assert tree.function == "ABS"
+
+    def test_round_with_scale(self):
+        tree = parse_expression("ROUND(x, 2)")
+        assert tree.function == "ROUND" and tree.scale_arg == 2
+
+    def test_case_insensitive(self):
+        assert parse_expression("abs(x)").function == "ABS"
+
+    def test_function_named_column_still_works(self):
+        # `sign` without parentheses is a plain column reference.
+        tree = parse_expression("sign + 1")
+        from repro.core.jit.expr_ast import BinaryOp, ColumnRef
+
+        assert isinstance(tree, BinaryOp)
+        assert isinstance(tree.left, ColumnRef) and tree.left.name == "sign"
+
+    @pytest.mark.parametrize("bad", ["ABS(x, 1)", "ROUND(x,)", "ROUND(x, 1.5)", "ABS("])
+    def test_bad_calls_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_expression(bad)
+
+
+class TestExecution:
+    def test_abs(self):
+        result = run("ABS(x)", [1234, -1234, 0])
+        assert result.to_unscaled() == [1234, 1234, 0]
+        assert result.spec == SPEC
+
+    def test_sign(self):
+        result = run("SIGN(x)", [55, -55, 0])
+        assert result.to_unscaled() == [1, -1, 0]
+        assert result.spec == DecimalSpec(1, 0)
+
+    def test_trunc(self):
+        # x at scale 3; TRUNC(x, 1): 1.239 -> 1.2, -1.239 -> -1.2
+        result = run("TRUNC(x, 1)", [1239, -1239])
+        assert result.to_unscaled() == [12, -12]
+        assert result.spec.scale == 1
+
+    def test_round_half_up(self):
+        result = run("ROUND(x, 1)", [1250, -1250, 1249])
+        assert result.to_unscaled() == [13, -13, 12]
+
+    def test_ceil_floor(self):
+        values = [1500, -1500, 2000]
+        assert run("CEIL(x)", values).to_unscaled() == [2, -1, 2]
+        assert run("FLOOR(x)", values).to_unscaled() == [1, -2, 2]
+
+    def test_functions_compose(self):
+        result = run("ABS(FLOOR(x)) + 1", [-1500])
+        assert result.to_unscaled() == [3]  # floor(-1.5) = -2, abs = 2, +1
+
+    def test_round_up_to_higher_scale(self):
+        result = run("ROUND(x, 5)", [1239])
+        assert result.to_unscaled() == [123900]
+        assert result.spec.scale == 5
+
+    @given(st.lists(st.integers(min_value=-(10**9), max_value=10**9), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_abs_sign_invariant(self, values):
+        """ABS(x) * SIGN(x) == x for every x."""
+        result = run("ABS(x) * SIGN(x)", values)
+        scale_factor = 10 ** (result.spec.scale - SPEC.scale)
+        assert result.to_unscaled() == [v * scale_factor for v in values]
+
+
+class TestConstantFolding:
+    def test_constant_functions_fold(self):
+        compiled = compile_expression("x + ABS(0 - 2.5)", SCHEMA)
+        assert "2.5" in compiled.tree.to_sql()
+        assert "ABS" not in compiled.tree.to_sql()
+
+    def test_round_constant_folds(self):
+        compiled = compile_expression("x + ROUND(1.25, 1)", SCHEMA)
+        assert "1.3" in compiled.tree.to_sql()
+
+    def test_floor_constant_folds(self):
+        compiled = compile_expression("x * FLOOR(2.9)", SCHEMA)
+        sql = compiled.tree.to_sql()
+        assert "FLOOR" not in sql
+        assert sql == "(2 * x)"  # constant factors fold to the front
+
+
+class TestEngineIntegration:
+    def test_functions_in_sql(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.create_table("t", {"v": "DECIMAL(8, 2)"}, rows=[("-1.55",), ("2.44",), ("0",)])
+        result = db.execute("SELECT ABS(v), ROUND(v, 1) FROM t")
+        assert [str(a) for a, _ in result.rows] == ["1.55", "2.44", "0.00"]
+        assert [str(r) for _, r in result.rows] == ["-1.6", "2.4", "0.0"]
+
+    def test_aggregate_of_function(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.create_table("t", {"v": "DECIMAL(8, 2)"}, rows=[("-3.00",), ("2.00",)])
+        result = db.execute("SELECT SUM(ABS(v)) FROM t")
+        assert str(result.scalar).startswith("5.00")
+
+
+class TestPower:
+    def test_rejects_bad_exponents(self):
+        with pytest.raises(ParseError):
+            parse_expression("POWER(x, 0)")
+        with pytest.raises(ParseError):
+            parse_expression("POWER(x, 65)")
+        with pytest.raises(ParseError):
+            parse_expression("POWER(x, 2.5)")
+
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 5, 8, 13])
+    def test_matches_repeated_multiplication(self, exponent):
+        spec = DecimalSpec(5, 1)
+        values = [15, -20, 0, 99]
+        result = run(f"POWER(x, {exponent})", values, spec=spec)
+        assert result.to_unscaled() == [v**exponent for v in values]
+        assert result.spec.scale == spec.scale * exponent
+
+    def test_cse_gives_logarithmic_multiplications(self):
+        from repro.core.jit import JitOptions, ir
+
+        spec = DecimalSpec(5, 1)
+        naive = compile_expression("POWER(x, 16)", {"x": spec})
+        shared = compile_expression(
+            "POWER(x, 16)", {"x": spec}, JitOptions(subexpression_elimination=True)
+        )
+        assert naive.kernel.count(ir.MulOp) == 15
+        assert shared.kernel.count(ir.MulOp) == 4  # log2(16)
+
+    def test_power_in_larger_expression(self):
+        spec = DecimalSpec(5, 1)
+        result = run("POWER(x, 3) - x", [20], spec=spec)
+        # 2.0^3 - 2.0 = 6.0 at scale 3: 6000
+        assert result.to_unscaled() == [6000]
+
+    def test_power_in_sql(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.create_table("t", {"v": "DECIMAL(4, 2)"}, rows=[("1.50",), ("-2.00",)])
+        result = db.execute("SELECT POWER(v, 3) FROM t")
+        assert [str(x) for (x,) in result.rows] == ["3.375000", "-8.000000"]

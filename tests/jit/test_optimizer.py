@@ -1,0 +1,214 @@
+"""Tests for n-ary transforms, alignment scheduling and constant folding."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.jit import alignment, constant_folding, nary, type_inference
+from repro.core.jit.expr_ast import BinaryOp, ColumnRef, Literal, NaryAdd, NaryMul, UnaryOp
+from repro.core.jit.parser import parse_expression
+from repro.core.jit.pipeline import JitOptions, compile_expression, optimize
+
+
+def nary_of(text, schema):
+    tree = parse_expression(text)
+    type_inference.infer(tree, schema)
+    out = nary.to_nary(tree)
+    type_inference.infer(out, schema)
+    return out
+
+
+class TestNary:
+    def test_collapses_addition_chains(self):
+        schema = {"a": DecimalSpec(4, 1)}
+        tree = nary_of("a + a + a + a", schema)
+        assert isinstance(tree, NaryAdd) and len(tree.terms) == 4
+
+    def test_subtraction_becomes_negated_addition(self):
+        schema = {"a": DecimalSpec(4, 1), "b": DecimalSpec(4, 2)}
+        tree = nary_of("a - b", schema)
+        assert isinstance(tree, NaryAdd)
+        assert isinstance(tree.terms[1], UnaryOp) and tree.terms[1].op == "-"
+
+    def test_mul_chain_collapses(self):
+        schema = {"a": DecimalSpec(4, 1)}
+        tree = nary_of("a * a * 2", schema)
+        assert isinstance(tree, NaryMul) and len(tree.factors) == 3
+
+    def test_roundtrip_to_binary(self):
+        schema = {"a": DecimalSpec(4, 1), "b": DecimalSpec(4, 2)}
+        tree = nary_of("a + b - a", schema)
+        binary = nary.to_binary(tree)
+        type_inference.infer(binary, schema)
+        # x + (-y) folds back into binary subtraction.
+        assert binary.to_sql() == "((a + b) - a)"
+
+    def test_division_stays_binary(self):
+        schema = {"a": DecimalSpec(4, 1), "b": DecimalSpec(4, 2)}
+        tree = nary_of("a / b + a", schema)
+        assert isinstance(tree, NaryAdd)
+        assert isinstance(tree.terms[0], BinaryOp) and tree.terms[0].op == "/"
+
+
+class TestAlignmentScheduling:
+    SCHEMA = {
+        "a": DecimalSpec(12, 1),
+        "b": DecimalSpec(17, 11),
+    }
+
+    def test_figure10_shape(self):
+        """a+b+a: b (large scale) moves to the end; alignments 2 -> 1."""
+        tree = nary_of("a + b + a", self.SCHEMA)
+        before = alignment.count_alignments(tree)
+        scheduled = alignment.schedule(tree)
+        after = alignment.count_alignments(scheduled)
+        assert (before, after) == (2, 1)
+        assert alignment.scale_order(scheduled) == [1, 1, 11]
+
+    @pytest.mark.parametrize(
+        "expr,before,after",
+        [
+            ("a + b + a", 2, 1),
+            ("a + b + a + a + a", 4, 1),
+            ("a + b + a + a + a + a + a", 6, 1),
+        ],
+    )
+    def test_figure10_alignment_counts(self, expr, before, after):
+        """The exact alignment reductions of the Figure 10 experiment."""
+        compiled = compile_expression(expr, self.SCHEMA)
+        assert compiled.alignments_before == before
+        assert compiled.alignments_after == after
+
+    def test_mul_scale_is_sum(self):
+        schema = {"b": DecimalSpec(12, 5), "c": DecimalSpec(12, 5)}
+        tree = nary_of("b * c", schema)
+        assert tree.effective_scale == 10
+
+    def test_figure6_example(self):
+        """a + b*c + d - e sorts to scales [2, 2, 2, 10]; 3 -> 1 aligns."""
+        schema = {
+            "a": DecimalSpec(12, 2),
+            "b": DecimalSpec(12, 5),
+            "c": DecimalSpec(12, 5),
+            "d": DecimalSpec(12, 2),
+            "e": DecimalSpec(12, 2),
+        }
+        compiled = compile_expression("a + b * c + d - e", schema)
+        assert compiled.alignments_before == 3
+        assert compiled.alignments_after == 1
+
+    def test_scheduling_preserves_value(self):
+        """Reordering addends must not change results (exact arithmetic)."""
+        from repro.core.decimal.vectorized import DecimalVector
+        from repro.gpusim import execute
+
+        schema = self.SCHEMA
+        a_vals = [15, -7, 99999]
+        b_vals = [12345678901, -1, 10**16]
+        va = DecimalVector.from_unscaled(a_vals, schema["a"])
+        vb = DecimalVector.from_unscaled(b_vals, schema["b"])
+        columns = {"a": va.to_compact(), "b": vb.to_compact()}
+        for scheduling in (True, False):
+            compiled = compile_expression(
+                "a + b + a", schema, JitOptions(alignment_scheduling=scheduling)
+            )
+            run = execute(compiled.kernel, columns, 3)
+            # Exact check: a + b + a at scale 11.
+            expected = [
+                2 * a * 10**10 + b for a, b in zip(a_vals, b_vals)
+            ]
+            assert run.result.to_unscaled() == expected
+
+
+class TestConstantFolding:
+    SCHEMA = {
+        "a": DecimalSpec(12, 10),
+        "b": DecimalSpec(12, 10),
+        "c": DecimalSpec(12, 3),
+        "d": DecimalSpec(12, 2),
+    }
+
+    def test_sum_constants_fold(self):
+        """1 + a + 2 + 11 -> 14 + a (Figure 12, first expression)."""
+        compiled = compile_expression("1 + a + 2 + 11", self.SCHEMA)
+        adds = compiled.tree.to_sql().count("+")
+        assert adds == 1
+        assert "14" in compiled.tree.to_sql()
+
+    def test_full_cancellation(self):
+        """1 + a + 2 - 3 -> a (Figure 12, second expression)."""
+        compiled = compile_expression("1 + a + 2 - 3", self.SCHEMA)
+        assert compiled.tree.to_sql() == "a"
+
+    def test_mul_constants_fold(self):
+        """0.25 * (a + b) * 4 -> a + b (Figure 12, third expression)."""
+        compiled = compile_expression("0.25 * (a + b) * 4", self.SCHEMA)
+        assert compiled.tree.to_sql() == "(a + b)"
+
+    def test_zero_plus_shortcut(self):
+        compiled = compile_expression("0 + c", self.SCHEMA)
+        assert compiled.tree.to_sql() == "c"
+
+    def test_one_times_shortcut(self):
+        compiled = compile_expression("1 * c", self.SCHEMA)
+        assert compiled.tree.to_sql() == "c"
+
+    def test_zero_times_folds_to_zero(self):
+        compiled = compile_expression("0 * c", self.SCHEMA)
+        assert compiled.tree.to_sql() == "0"
+
+    def test_unary_plus_shortcut(self):
+        compiled = compile_expression("+c", self.SCHEMA)
+        assert compiled.tree.to_sql() == "c"
+
+    def test_figure7_example(self):
+        """1 + a + b*(5 + c - 5) + d + 1.23: constants fold, 0+c shortcut."""
+        schema = {
+            "a": DecimalSpec(12, 1),
+            "b": DecimalSpec(12, 3),
+            "c": DecimalSpec(12, 3),
+            "d": DecimalSpec(12, 2),
+        }
+        compiled = compile_expression("1 + a + b * (5 + c - 5) + d + 1.23", schema)
+        sql = compiled.tree.to_sql()
+        assert "2.23" in sql  # 1 + 1.23 folded
+        assert "5" not in sql  # 5 - 5 cancelled, 0 + c shortcut
+        assert "(b * c)" in sql
+
+    def test_constant_alignment_to_neighbour_scale(self):
+        """Figure 7: the folded 2.23 pre-aligns to scale 3 at compile time."""
+        schema = {
+            "a": DecimalSpec(12, 1),
+            "b": DecimalSpec(12, 3),
+            "c": DecimalSpec(12, 3),
+            "d": DecimalSpec(12, 2),
+        }
+        compiled = compile_expression("1 + a + b * (5 + c - 5) + d + 1.23", schema)
+        literals = [
+            node
+            for node in _walk(compiled.tree)
+            if isinstance(node, Literal)
+        ]
+        assert len(literals) == 1
+        # Aligned to the minimum >= its own scale among siblings (d's 2).
+        assert literals[0].spec.scale == 2
+
+    def test_constant_division_folds_when_exact(self):
+        compiled = compile_expression("a + 1 / 4", self.SCHEMA)
+        assert "0.25" in compiled.tree.to_sql()
+
+    def test_inexact_constant_division_not_folded(self):
+        compiled = compile_expression("a + 1 / 3", self.SCHEMA)
+        assert "/" in compiled.tree.to_sql()
+
+    def test_folding_disabled(self):
+        options = JitOptions(constant_folding=False, constant_alignment=False)
+        compiled = compile_expression("1 + a + 2 + 11", self.SCHEMA, options)
+        assert compiled.tree.to_sql().count("+") == 3
+
+
+def _walk(expr):
+    from repro.core.jit.expr_ast import walk
+
+    return walk(expr)

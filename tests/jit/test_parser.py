@@ -1,0 +1,71 @@
+"""Tests for the arithmetic expression parser."""
+
+import pytest
+
+from repro.core.jit.expr_ast import BinaryOp, ColumnRef, Literal, UnaryOp
+from repro.core.jit.parser import parse_expression, tokenize
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_basic(self):
+        kinds = [t.kind for t in tokenize("c1 + 2.5 * (x)")]
+        assert kinds == ["ident", "op", "number", "op", "lparen", "ident", "rparen"]
+
+    def test_rejects_junk(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_number_forms(self):
+        texts = [t.text for t in tokenize("1 1.5 .5 2.")]
+        assert texts == ["1", "1.5", ".5", "2."]
+
+
+class TestParser:
+    def test_precedence(self):
+        tree = parse_expression("a + b * c")
+        assert isinstance(tree, BinaryOp) and tree.op == "+"
+        assert isinstance(tree.right, BinaryOp) and tree.right.op == "*"
+
+    def test_left_associativity(self):
+        tree = parse_expression("a - b - c")
+        assert tree.op == "-" and isinstance(tree.left, BinaryOp)
+        assert tree.left.op == "-"
+
+    def test_parentheses(self):
+        tree = parse_expression("(a + b) * c")
+        assert tree.op == "*"
+        assert isinstance(tree.left, BinaryOp) and tree.left.op == "+"
+
+    def test_unary_minus(self):
+        tree = parse_expression("-a + b")
+        assert tree.op == "+"
+        assert isinstance(tree.left, UnaryOp) and tree.left.op == "-"
+
+    def test_modulo_same_level_as_mul(self):
+        tree = parse_expression("a * a % n * a % n")
+        # Left-associative: (((a*a) % n) * a) % n -- the RSA Query 4 shape.
+        assert tree.op == "%"
+        assert tree.left.op == "*"
+        assert tree.left.left.op == "%"
+        assert tree.left.left.left.op == "*"
+
+    def test_literals(self):
+        tree = parse_expression("1.23")
+        assert isinstance(tree, Literal)
+        assert tree.spec.precision == 3 and tree.spec.scale == 2
+
+    def test_column_names_with_underscores(self):
+        tree = parse_expression("l_extendedprice * l_discount")
+        assert isinstance(tree.left, ColumnRef)
+        assert tree.left.name == "l_extendedprice"
+
+    @pytest.mark.parametrize("bad", ["", "a +", "(a", "a b", "* a", "a ++"])
+    def test_rejects_bad_input(self, bad):
+        with pytest.raises(ParseError):
+            parse_expression(bad)
+
+    def test_to_sql_roundtrip(self):
+        text = "a + b * c - 1.5"
+        tree = parse_expression(text)
+        assert parse_expression(tree.to_sql()).to_sql() == tree.to_sql()

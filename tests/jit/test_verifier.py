@@ -1,0 +1,134 @@
+"""Tests for the kernel IR verifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.jit import ir
+from repro.core.jit.pipeline import JitOptions, compile_expression
+from repro.core.jit.verifier import verify_kernel
+from repro.errors import CodegenError
+
+SCHEMA = {"a": DecimalSpec(10, 2), "b": DecimalSpec(8, 1)}
+
+
+def valid_kernel():
+    return compile_expression("a + b * 2", SCHEMA).kernel
+
+
+class TestAcceptsGeneratedKernels:
+    @pytest.mark.parametrize(
+        "expression",
+        ["a + b", "a - b", "a * b", "a / b", "-a + 1.5", "a + b + a * (b - 2)"],
+    )
+    def test_generated_kernels_verify(self, expression):
+        kernel = compile_expression(expression, SCHEMA).kernel
+        verify_kernel(kernel)  # must not raise
+
+    def test_modulo_kernel(self):
+        schema = {"x": DecimalSpec(18, 0), "n": DecimalSpec(18, 0)}
+        verify_kernel(compile_expression("x * x % n", schema).kernel)
+
+    @given(st.sampled_from(["a+b", "a*b+1", "(a-b)*(a+b)", "a/b+a"]))
+    @settings(max_examples=10, deadline=None)
+    def test_option_variants_verify(self, expression):
+        for options in (
+            JitOptions(),
+            JitOptions(alignment_scheduling=False),
+            JitOptions(subexpression_elimination=True),
+            JitOptions(constant_construction=False, constant_alignment=False),
+        ):
+            verify_kernel(compile_expression(expression, SCHEMA, options).kernel)
+
+
+class TestRejectsBrokenKernels:
+    def test_undefined_register(self):
+        kernel = valid_kernel()
+        kernel.instructions.insert(
+            0, ir.AddOp(99, DecimalSpec(4, 0), 50, 51)
+        )
+        with pytest.raises(CodegenError, match="undefined register"):
+            verify_kernel(kernel)
+
+    def test_unaligned_addition(self):
+        spec_a = DecimalSpec(6, 2)
+        spec_b = DecimalSpec(6, 1)
+        kernel = ir.KernelIR(
+            name="bad",
+            expression_sql="a + b",
+            instructions=[
+                ir.LoadColumn(0, spec_a, "a"),
+                ir.LoadColumn(1, spec_b, "b"),
+                ir.AddOp(2, DecimalSpec(7, 2), 0, 1),  # b never aligned
+                ir.StoreResult(2, DecimalSpec(7, 2), 2),
+            ],
+            input_columns={"a": spec_a, "b": spec_b},
+            result_spec=DecimalSpec(7, 2),
+            register_words=3,
+        )
+        with pytest.raises(CodegenError, match="not scale-aligned"):
+            verify_kernel(kernel)
+
+    def test_missing_store(self):
+        kernel = valid_kernel()
+        kernel.instructions = [
+            i for i in kernel.instructions if not isinstance(i, ir.StoreResult)
+        ]
+        with pytest.raises(CodegenError, match="exactly one result"):
+            verify_kernel(kernel)
+
+    def test_wrong_align_exponent(self):
+        spec = DecimalSpec(6, 1)
+        kernel = ir.KernelIR(
+            name="bad",
+            expression_sql="a",
+            instructions=[
+                ir.LoadColumn(0, spec, "a"),
+                ir.Align(1, DecimalSpec(9, 3), 0, 1),  # +1 but scale jumps 2
+                ir.StoreResult(1, DecimalSpec(9, 3), 1),
+            ],
+            input_columns={"a": spec},
+            result_spec=DecimalSpec(9, 3),
+            register_words=3,
+        )
+        with pytest.raises(CodegenError, match="Align scale mismatch"):
+            verify_kernel(kernel)
+
+    def test_overflowing_constant(self):
+        kernel = ir.KernelIR(
+            name="bad",
+            expression_sql="9999",
+            instructions=[
+                ir.LoadConst(0, DecimalSpec(2, 0), False, 9999),
+                ir.StoreResult(0, DecimalSpec(2, 0), 0),
+            ],
+            input_columns={},
+            result_spec=DecimalSpec(2, 0),
+            register_words=1,
+        )
+        with pytest.raises(CodegenError, match="does not fit"):
+            verify_kernel(kernel)
+
+    def test_fractional_modulo(self):
+        spec = DecimalSpec(6, 1)
+        kernel = ir.KernelIR(
+            name="bad",
+            expression_sql="a % a",
+            instructions=[
+                ir.LoadColumn(0, spec, "a"),
+                ir.ModOp(1, DecimalSpec(6, 0), 0, 0),
+                ir.StoreResult(1, DecimalSpec(6, 0), 1),
+            ],
+            input_columns={"a": spec},
+            result_spec=DecimalSpec(6, 0),
+            register_words=2,
+        )
+        with pytest.raises(CodegenError, match="integer"):
+            verify_kernel(kernel)
+
+    def test_store_spec_mismatch(self):
+        kernel = valid_kernel()
+        kernel.result_spec = DecimalSpec(30, 5)
+        with pytest.raises(CodegenError, match="result spec"):
+            verify_kernel(kernel)

@@ -1,0 +1,94 @@
+"""Tests for the multi-pass multi-threaded aggregation (section III-E2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.core.multithread import BlockPlan, aggregate
+from repro.errors import MultithreadError
+from repro.gpusim.device import DEFAULT_DEVICE
+
+SPEC = DecimalSpec(11, 7)
+
+
+class TestBlockPlan:
+    def test_paper_sizing_formulas(self):
+        """Ng = Tmax/TPI; nt = floor(S / (Ng*(4*Lw+1))); nT = nt*Ng."""
+        plan = BlockPlan.for_spec(result_words=2, tpi=8, device=DEFAULT_DEVICE)
+        ng = DEFAULT_DEVICE.max_threads_per_block // 8
+        nt = DEFAULT_DEVICE.shared_memory_per_block // (ng * (4 * 2 + 1))
+        assert plan.groups_per_block == ng
+        assert plan.values_per_group == nt
+        assert plan.values_per_block == nt * ng
+
+    def test_wider_values_fewer_per_block(self):
+        narrow = BlockPlan.for_spec(2, 8)
+        wide = BlockPlan.for_spec(32, 8)
+        assert wide.values_per_block < narrow.values_per_block
+
+    def test_shared_memory_respected(self):
+        for words in (2, 4, 8, 16, 32):
+            plan = BlockPlan.for_spec(words, 8)
+            used = plan.groups_per_block * plan.values_per_group * (4 * words + 1)
+            assert used <= DEFAULT_DEVICE.shared_memory_per_block
+
+
+class TestCorrectness:
+    @given(st.lists(st.integers(min_value=-(10**10), max_value=10**10), min_size=1, max_size=400))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches(self, values):
+        run = aggregate(values, SPEC, "sum", tpi=8)
+        assert run.value == sum(values)
+
+    @given(st.lists(st.integers(min_value=-(10**10), max_value=10**10), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_min_max(self, values):
+        assert aggregate(values, SPEC, "min").value == min(values)
+        assert aggregate(values, SPEC, "max").value == max(values)
+
+    def test_count(self):
+        run = aggregate([5] * 321, SPEC, "count")
+        assert run.value == 321
+
+    def test_avg_truncates_like_the_rules(self):
+        values = [10, 11, 13]
+        run = aggregate(values, DecimalSpec(5, 0), "avg")
+        prescale = inference.div_prescale(inference.count_spec(3))
+        assert run.value == sum(values) * 10**prescale // 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(MultithreadError):
+            aggregate([], SPEC, "sum")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(MultithreadError):
+            aggregate([1], SPEC, "median")
+
+    def test_sum_spec_widens_with_simulated_count(self):
+        run = aggregate([1, 2], SPEC, "sum", simulate_tuples=10_000_000)
+        assert run.spec == inference.sum_result(SPEC, 10_000_000)
+        assert run.value == 3  # values reflect real rows
+
+
+class TestPassStructure:
+    def test_multiple_passes_for_large_n(self):
+        run = aggregate([1] * 10, SPEC, "sum", tpi=8, simulate_tuples=10_000_000)
+        assert run.pass_count >= 2
+        assert run.passes[0].input_values == 10_000_000
+        assert run.passes[-1].blocks == 1
+
+    def test_single_pass_when_one_block_suffices(self):
+        run = aggregate([1] * 10, SPEC, "sum", tpi=8)
+        assert run.pass_count == 1
+
+    def test_pass_inputs_shrink(self):
+        run = aggregate([1], SPEC, "sum", simulate_tuples=50_000_000)
+        sizes = [p.input_values for p in run.passes]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_time_grows_with_width(self):
+        narrow = aggregate([1] * 4, DecimalSpec(11, 7), "sum", simulate_tuples=10_000_000)
+        wide = aggregate([1] * 4, DecimalSpec(281, 101), "sum", simulate_tuples=10_000_000)
+        assert wide.seconds > narrow.seconds

@@ -1,0 +1,143 @@
+"""Tests for CGBN-style thread-group arithmetic (section III-E1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import DecimalSpec
+from repro.core.multithread import cgbn
+from repro.core.multithread.cgbn import GroupStats, GroupValue
+from repro.errors import DivisionByZeroError, TpiRestrictionError
+
+SPEC = DecimalSpec(30, 2)
+
+
+def group(value, tpi=8, spec=SPEC):
+    return GroupValue.from_unscaled(value, spec, tpi)
+
+
+class TestDistribution:
+    @given(st.integers(min_value=-(10**30 - 1), max_value=10**30 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, value):
+        for tpi in (1, 4, 8, 16, 32):
+            assert group(value, tpi).unscaled == value
+
+    def test_lane_slices_are_contiguous(self):
+        value = group((1 << 100) + 12345, tpi=4)
+        flat = [word for lane in value.lanes for word in lane]
+        assert flat[: SPEC.words] == value.gather()
+
+    def test_rejects_bad_tpi(self):
+        with pytest.raises(TpiRestrictionError):
+            GroupValue.from_unscaled(1, SPEC, 3)
+
+    def test_mismatched_tpi_rejected(self):
+        with pytest.raises(TpiRestrictionError):
+            cgbn.add(group(1, 4), group(1, 8), SPEC)
+
+
+@st.composite
+def operand_pairs(draw):
+    bound = SPEC.max_unscaled
+    a = draw(st.integers(min_value=-bound, max_value=bound))
+    b = draw(st.integers(min_value=-bound, max_value=bound))
+    tpi = draw(st.sampled_from([1, 4, 8, 16]))
+    return a, b, tpi
+
+
+class TestArithmetic:
+    @given(operand_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_add(self, case):
+        a, b, tpi = case
+        result_spec = inference.add_result(SPEC, SPEC)
+        out = cgbn.add(group(a, tpi), group(b, tpi), result_spec)
+        assert out.unscaled == a + b
+
+    @given(operand_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_sub(self, case):
+        a, b, tpi = case
+        result_spec = inference.add_result(SPEC, SPEC)
+        out = cgbn.sub(group(a, tpi), group(b, tpi), result_spec)
+        assert out.unscaled == a - b
+
+    @given(operand_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_mul(self, case):
+        a, b, tpi = case
+        result_spec = inference.mul_result(SPEC, SPEC)
+        out = cgbn.mul(group(a, tpi), group(b, tpi), result_spec)
+        assert out.unscaled == a * b
+
+    @given(operand_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_compare(self, case):
+        a, b, tpi = case
+        assert cgbn.compare(group(a, tpi), group(b, tpi)) == (a > b) - (a < b)
+
+    @given(operand_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_div(self, case):
+        a, b, tpi = case
+        if b == 0:
+            return
+        result_spec = inference.div_result(SPEC, SPEC)
+        prescale = inference.div_prescale(SPEC)
+        if result_spec.words / tpi > tpi:
+            return  # restriction covered separately
+        out = cgbn.div(group(a, tpi), group(b, tpi), result_spec, prescale)
+        expected = abs(a) * 10**prescale // abs(b)
+        expected %= 1 << (32 * result_spec.words)
+        sign = -1 if (a < 0) != (b < 0) and expected else 1
+        assert out.unscaled == sign * expected
+
+    def test_div_by_zero(self):
+        result_spec = inference.div_result(SPEC, SPEC)
+        with pytest.raises(DivisionByZeroError):
+            cgbn.div(group(1), group(0), result_spec, 4)
+
+
+class TestRestriction:
+    def test_len_over_tpi_must_not_exceed_tpi(self):
+        """The paper's missing Figure 13 cell: TPI=4 cannot divide LEN=32."""
+        wide = DecimalSpec(300, 2)  # 32 words
+        result_spec = inference.div_result(wide, SPEC)
+        a = GroupValue.from_unscaled(10**200, wide, 4)
+        b = GroupValue.from_unscaled(12345, wide, 4)
+        with pytest.raises(TpiRestrictionError):
+            cgbn.div(a, b, result_spec, 6)
+
+    def test_tpi8_handles_len32(self):
+        wide = DecimalSpec(290, 0)
+        result_spec = inference.div_result(wide, DecimalSpec(9, 0))
+        a = GroupValue.from_unscaled(10**200, wide, 8)
+        b = GroupValue.from_unscaled(123456789, wide, 8)
+        out = cgbn.div(a, b, result_spec, 4)
+        expected = (10**200 * 10**4 // 123456789) % (1 << (32 * result_spec.words))
+        assert out.unscaled == expected
+
+
+class TestCommunicationCounters:
+    def test_same_sign_add_counts_ballots(self):
+        stats = GroupStats()
+        result_spec = inference.add_result(SPEC, SPEC)
+        cgbn.add(group(1, 8), group(2, 8), result_spec, stats)
+        assert stats.ballots >= 8  # one carry vote per thread slice
+        assert stats.broadcasts >= 2  # sign exchange
+
+    def test_mul_broadcasts_operand_words(self):
+        stats = GroupStats()
+        result_spec = inference.mul_result(SPEC, SPEC)
+        cgbn.mul(group(10**20, 8), group(10**9, 8), result_spec, stats)
+        assert stats.broadcasts >= SPEC.words
+
+    def test_carry_crossing_slices_shuffles(self):
+        # 2**96 - 1 has three all-ones limbs; +1 ripples a carry across
+        # every thread slice boundary (one limb per thread at TPI=8).
+        stats = GroupStats()
+        result_spec = inference.add_result(SPEC, SPEC)
+        cgbn.add(group(2**96 - 1, 8), group(1, 8), result_spec, stats)
+        assert stats.shuffles > 0

@@ -1,0 +1,65 @@
+"""Tests for TPI load planning (Listing 3) and the division restriction."""
+
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.multithread import tpi
+from repro.errors import TpiRestrictionError
+
+
+class TestLoadPlan:
+    def test_listing3_example(self):
+        """DECIMAL(64, 32) at TPI=4: Lb=27, lt=2, 3 full threads, 3-byte tail."""
+        spec = DecimalSpec(64, 32)
+        assert spec.compact_bytes == 27
+        plan = tpi.plan_load(spec, 4)
+        assert plan.words_per_thread == 2
+        assert plan.full_threads == 3
+        assert plan.tail_bytes == 3
+        assert not plan.is_aligned
+
+    def test_aligned_no_branch(self):
+        """When Lb divides evenly, no tail branch is generated."""
+        spec = DecimalSpec(38, 0)  # Lb = 16
+        plan = tpi.plan_load(spec, 4)
+        assert plan.is_aligned
+        code = tpi.render_load_code(plan)
+        assert "else if" not in code
+        assert "No following branch" in code
+
+    def test_listing3_code_render(self):
+        plan = tpi.plan_load(DecimalSpec(64, 32), 4)
+        code = tpi.render_load_code(plan)
+        assert "threadIdx.x & 3" in code
+        assert "uint32_t v[2]" in code
+        assert "g_tid == 3" in code
+
+    def test_every_byte_covered(self):
+        for precision in (9, 18, 38, 76, 153, 307):
+            for group_size in tpi.SUPPORTED_TPI:
+                spec = DecimalSpec(precision, 2)
+                plan = tpi.plan_load(spec, group_size)
+                chunk = 4 * plan.words_per_thread
+                covered = plan.full_threads * chunk + plan.tail_bytes
+                assert covered >= spec.compact_bytes
+
+    def test_rejects_unsupported_tpi(self):
+        with pytest.raises(TpiRestrictionError):
+            tpi.plan_load(DecimalSpec(10, 0), 5)
+
+
+class TestDivisionRestriction:
+    def test_paper_case(self):
+        """LEN/TPI <= TPI: 32/4 > 4 is the paper's absent data point."""
+        assert not tpi.division_supported(32, 4)
+        assert tpi.division_supported(32, 8)
+        assert tpi.division_supported(32, 16)
+        with pytest.raises(TpiRestrictionError):
+            tpi.check_division_restriction(32, 4)
+
+    def test_single_threaded_always_allowed(self):
+        assert tpi.division_supported(32, 1)
+
+    @pytest.mark.parametrize("length,group", [(2, 4), (4, 4), (8, 4), (16, 4)])
+    def test_small_len_ok(self, length, group):
+        assert tpi.division_supported(length, group)

@@ -1,0 +1,58 @@
+"""Tests for frame-of-reference compression (the Figure 14(b) case study)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import StorageError
+from repro.storage import compression
+
+
+class TestForCompression:
+    @given(
+        st.lists(st.integers(min_value=-(10**12), max_value=10**12), min_size=1, max_size=500)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lossless(self, values):
+        spec = DecimalSpec(20, 2)
+        packed = compression.compress(values, spec, block_size=64)
+        assert packed.decompress() == values
+
+    def test_narrow_range_compresses_well(self):
+        """TPC-H quantities: values 1..50 at huge declared precision."""
+        spec = DecimalSpec(135, 2)  # the LEN=16 extended precision
+        values = [q * 100 for q in range(1, 51)] * 20
+        packed = compression.compress(values, spec)
+        assert packed.ratio > 10
+
+    def test_wide_range_compresses_poorly(self):
+        spec = DecimalSpec(20, 0)
+        values = [(-1) ** i * 10**19 + i for i in range(200)]
+        packed = compression.compress(values, spec)
+        assert packed.ratio < 2
+
+    def test_block_structure(self):
+        spec = DecimalSpec(10, 0)
+        packed = compression.compress(list(range(100)), spec, block_size=32)
+        assert len(packed.blocks) == 4  # 32+32+32+4
+        assert packed.blocks[0].reference == 0
+        assert packed.blocks[3].reference == 96
+
+    def test_delta_widths_minimal(self):
+        spec = DecimalSpec(10, 0)
+        packed = compression.compress([1000, 1001, 1002, 1003], spec, block_size=4)
+        assert packed.blocks[0].width_bytes == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            compression.compress([], DecimalSpec(5, 0))
+
+    def test_bad_block_size(self):
+        with pytest.raises(StorageError):
+            compression.compress([1], DecimalSpec(5, 0), block_size=1)
+
+    def test_decompression_cost_reported(self):
+        spec = DecimalSpec(10, 0)
+        packed = compression.compress(list(range(50)), spec)
+        assert compression.decompression_cycles_per_value(packed) > 0

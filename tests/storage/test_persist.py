@@ -1,0 +1,64 @@
+"""Tests for relation save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import StorageError
+from repro.storage import Column, Relation
+from repro.storage.datagen import decimal_column
+from repro.storage.persist import load_relation, save_relation
+
+
+def build_relation(rows=50):
+    return Relation(
+        "mixed",
+        [
+            decimal_column("d", DecimalSpec(38, 11), rows, seed=3),
+            Column.doubles("f", [i * 1.5 for i in range(rows)]),
+            Column.integers("i", list(range(rows))),
+            Column.dates("t", [i % 2526 for i in range(rows)]),
+            Column.chars("s", [f"v{i}" for i in range(rows)], 4),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_bit_exact(self, tmp_path):
+        relation = build_relation()
+        target = save_relation(relation, tmp_path / "rel.npz")
+        loaded = load_relation(target)
+        assert loaded.name == relation.name
+        assert loaded.column_names == relation.column_names
+        assert loaded.column("d").unscaled() == relation.column("d").unscaled()
+        assert np.array_equal(loaded.column("f").data, relation.column("f").data)
+        assert loaded.column("s").column_type == relation.column("s").column_type
+        assert np.array_equal(loaded.column("s").data, relation.column("s").data)
+
+    def test_wide_decimal(self, tmp_path):
+        relation = Relation(
+            "wide", [decimal_column("x", DecimalSpec(307, 101), 20, seed=9)]
+        )
+        loaded = load_relation(save_relation(relation, tmp_path / "wide.npz"))
+        assert loaded.column("x").unscaled() == relation.column("x").unscaled()
+        assert loaded.column("x").column_type.spec == DecimalSpec(307, 101)
+
+    def test_queryable_after_load(self, tmp_path):
+        from repro.engine import Database
+
+        relation = build_relation()
+        loaded = load_relation(save_relation(relation, tmp_path / "q.npz"))
+        db = Database()
+        db.register(loaded)
+        result = db.execute("SELECT SUM(d) FROM mixed")
+        assert result.scalar.unscaled == sum(relation.column("d").unscaled())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_relation(tmp_path / "nope.npz")
+
+    def test_not_a_relation(self, tmp_path):
+        target = tmp_path / "junk.npz"
+        np.savez(target, a=np.zeros(3))
+        with pytest.raises(StorageError):
+            load_relation(target)

@@ -1,0 +1,182 @@
+"""Tests for columns, relations, catalog and data generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import CatalogError, SchemaError
+from repro.storage import Catalog, Column, DecimalType, Relation
+from repro.storage import datagen
+from repro.storage.schema import CharType, DateType, DoubleType, IntType, is_decimal
+
+
+class TestColumn:
+    def test_decimal_roundtrip(self):
+        spec = DecimalSpec(10, 2)
+        values = [123, -456, 0, 10**10 - 1]
+        column = Column.decimal_from_unscaled("c", values, spec)
+        assert column.unscaled() == values
+        assert column.data.shape == (4, spec.compact_bytes)
+
+    def test_bytes_stored_is_compact(self):
+        spec = DecimalSpec(38, 5)
+        column = Column.decimal_from_unscaled("c", [1] * 100, spec)
+        assert column.bytes_stored == 100 * spec.compact_bytes
+
+    def test_take_and_head(self):
+        spec = DecimalSpec(6, 0)
+        column = Column.decimal_from_unscaled("c", [10, 20, 30, 40], spec)
+        assert column.take(np.array([2, 0])).unscaled() == [30, 10]
+        assert column.head(2).unscaled() == [10, 20]
+
+    def test_shape_validated(self):
+        with pytest.raises(SchemaError):
+            Column("c", DecimalType(DecimalSpec(10, 2)), np.zeros((3, 1), np.uint8))
+
+    def test_non_decimal_kinds(self):
+        assert Column.doubles("d", [1.5, 2.5]).column_type == DoubleType()
+        assert Column.integers("i", [1, 2]).column_type == IntType()
+        assert Column.dates("t", [100]).column_type == DateType()
+        chars = Column.chars("s", ["AB", "C"], 2)
+        assert chars.column_type == CharType(2)
+        assert chars.data[1] == b"C "
+
+    def test_unscaled_requires_decimal(self):
+        with pytest.raises(SchemaError):
+            Column.doubles("d", [1.0]).unscaled()
+
+
+class TestRelation:
+    def build(self):
+        spec = DecimalSpec(8, 2)
+        return Relation(
+            "r",
+            [
+                Column.decimal_from_unscaled("a", [1, 2], spec),
+                Column.decimal_from_unscaled("b", [3, 4], DecimalSpec(12, 5)),
+                Column.integers("k", [7, 8]),
+            ],
+        )
+
+    def test_decimal_schema(self):
+        relation = self.build()
+        schema = relation.decimal_schema()
+        assert set(schema) == {"a", "b"}
+        assert schema["b"] == DecimalSpec(12, 5)
+
+    def test_ragged_rejected(self):
+        spec = DecimalSpec(4, 0)
+        with pytest.raises(SchemaError):
+            Relation(
+                "bad",
+                [
+                    Column.decimal_from_unscaled("a", [1], spec),
+                    Column.decimal_from_unscaled("b", [1, 2], spec),
+                ],
+            )
+
+    def test_duplicate_column_rejected(self):
+        relation = self.build()
+        with pytest.raises(SchemaError):
+            relation.add(Column.integers("k", [0, 0]))
+
+    def test_missing_column(self):
+        with pytest.raises(SchemaError):
+            self.build().column("nope")
+
+    def test_bytes_for_subset(self):
+        relation = self.build()
+        assert relation.bytes_for(["a"]) == relation.column("a").bytes_stored
+
+    def test_head(self):
+        head = self.build().head(1)
+        assert head.rows == 1 and head.column_names == ["a", "b", "k"]
+
+
+class TestCatalog:
+    def test_register_get_drop(self):
+        catalog = Catalog()
+        relation = Relation("r", [])
+        catalog.register(relation)
+        assert catalog.get("r") is relation
+        assert "r" in catalog
+        catalog.drop("r")
+        assert "r" not in catalog
+
+    def test_duplicate_needs_replace(self):
+        catalog = Catalog()
+        catalog.register(Relation("r", []))
+        with pytest.raises(CatalogError):
+            catalog.register(Relation("r", []))
+        catalog.register(Relation("r", []), replace=True)
+
+    def test_missing(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("nope")
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        spec = DecimalSpec(20, 2)
+        a = datagen.decimal_column("c", spec, 50, seed=3)
+        b = datagen.decimal_column("c", spec, 50, seed=3)
+        assert a.unscaled() == b.unscaled()
+
+    def test_values_fit_spec(self):
+        spec = DecimalSpec(35, 5)
+        column = datagen.decimal_column("c", spec, 200, seed=9)
+        assert all(abs(v) <= spec.max_unscaled for v in column.unscaled())
+
+    def test_full_digits(self):
+        spec = DecimalSpec(12, 0)
+        column = datagen.decimal_column("c", spec, 100, seed=1, signed=False, full_digits=True)
+        for value in column.unscaled():
+            assert 10**11 <= value <= 10**12 - 1
+
+    def test_r1_shape(self):
+        relation = datagen.relation_r1(DecimalSpec(16, 2), rows=10)
+        assert relation.column_names == ["c1", "c2", "c3"]
+        assert relation.rows == 10
+
+    def test_r2_shape(self):
+        relation = datagen.relation_r2(DecimalSpec(36, 2), rows=5)
+        assert len(relation.columns) == 8
+        assert relation.column("c1").column_type.spec == DecimalSpec(6, 2)
+        assert relation.column("c5").column_type.spec == DecimalSpec(36, 2)
+
+    def test_r5_radians(self):
+        relation = datagen.relation_r5(rows=200, seed=5)
+        spec = relation.column("c1").column_type.spec
+        assert spec == DecimalSpec(9, 8)
+        # c2 clusters near 0.78, c3 near 1.56.
+        mean_c2 = sum(relation.column("c2").unscaled()) / 200 / 1e8
+        mean_c3 = sum(relation.column("c3").unscaled()) / 200 / 1e8
+        assert 0.7 < mean_c2 < 0.86
+        assert 1.48 < mean_c3 < 1.64
+
+
+class TestTpch:
+    def test_lineitem_schema(self):
+        from repro.storage import tpch
+
+        relation = tpch.lineitem(rows=100)
+        assert "l_quantity" in relation
+        assert relation.column("l_discount").column_type.spec == DecimalSpec(3, 2)
+        quantities = relation.column("l_quantity").unscaled()
+        assert all(100 <= q <= 5000 for q in quantities)  # 1..50 at scale 2
+        discounts = relation.column("l_discount").unscaled()
+        assert all(0 <= d <= 10 for d in discounts)
+
+    def test_lineitem_for_len(self):
+        from repro.storage import tpch
+
+        relation = tpch.lineitem_for_len(8, rows=10)
+        spec = relation.column("l_extendedprice").column_type.spec
+        assert spec.precision == tpch.EXTENDED_PRECISION[8]
+
+    def test_profiles_cover_q2_to_q22(self):
+        from repro.storage import tpch
+
+        assert sorted(tpch.TPCH_PROFILES) == sorted(f"Q{i}" for i in range(2, 23))
+        assert tpch.TPCH_PROFILES["Q18"].subquery_decimal_delivery
+        assert tpch.TPCH_PROFILES["Q20"].subquery_decimal_delivery

@@ -1,0 +1,105 @@
+"""Tests for the Figure 1 workload and the TPC-H query set."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import Database
+from repro.storage import tpch
+from repro.workloads import figure1, tpch_queries
+
+
+class TestFigure1:
+    def test_relation_specs(self):
+        low = figure1.build_relation("low-p", rows=10)
+        assert str(low.column("c1").column_type) == "DECIMAL(17, 5)"
+        assert str(low.column("c2").column_type) == "DECIMAL(14, 2)"
+        high = figure1.build_relation("high-p", rows=10)
+        assert str(high.column("c1").column_type) == "DECIMAL(35, 5)"
+
+    def test_exact_sum_oracle(self):
+        relation = figure1.build_relation("low-p", rows=100)
+        total, scale = figure1.exact_sum(relation)
+        assert scale == 5
+        db = Database()
+        db.register(relation)
+        result = db.execute("SELECT SUM(c1 + c2) FROM R")
+        assert Fraction(*result.scalar.to_fraction_parts()) == Fraction(total, 10**scale)
+
+
+class TestTpchQ1:
+    def test_q1_against_row_oracle(self):
+        relation = tpch.lineitem(rows=800, seed=3)
+        db = Database()
+        db.register(relation)
+        result = db.execute(tpch_queries.Q1_SQL, include_scan=False)
+
+        # Row-at-a-time oracle.
+        qty = relation.column("l_quantity").unscaled()
+        price = relation.column("l_extendedprice").unscaled()
+        disc = relation.column("l_discount").unscaled()
+        tax = relation.column("l_tax").unscaled()
+        flag = [v.decode().strip() for v in relation.column("l_returnflag").data.tolist()]
+        status = [v.decode().strip() for v in relation.column("l_linestatus").data.tolist()]
+        ship = relation.column("l_shipdate").data.tolist()
+        cutoff = tpch.SHIPDATE_CUTOFF
+
+        groups = {}
+        for i in range(relation.rows):
+            if ship[i] > cutoff:
+                continue
+            key = (flag[i], status[i])
+            entry = groups.setdefault(key, {"qty": 0, "base": 0, "disc_price": 0, "charge": 0, "count": 0})
+            entry["qty"] += qty[i]
+            entry["base"] += price[i]
+            # disc_price = price * (1 - disc); scales: 2 + 2 = 4
+            dp = price[i] * (100 - disc[i])
+            entry["disc_price"] += dp
+            # charge = disc_price * (1 + tax); scale 6
+            entry["charge"] += dp * (100 + tax[i])
+            entry["count"] += 1
+
+        assert len(result.rows) == len(groups)
+        for row in result.rows:
+            key = (row[0], row[1])
+            entry = groups[key]
+            assert row[2].unscaled == entry["qty"]  # sum_qty
+            assert row[3].unscaled == entry["base"]  # sum_base_price
+            assert row[4].unscaled == entry["disc_price"]  # sum_disc_price
+            assert row[5].unscaled == entry["charge"]  # sum_charge
+            assert row[9].unscaled == entry["count"]  # count_order
+
+        # Ordered by (returnflag, linestatus).
+        keys = [(row[0], row[1]) for row in result.rows]
+        assert keys == sorted(keys)
+
+    def test_q1_avgs_consistent_with_sums(self):
+        relation = tpch.lineitem(rows=400, seed=5)
+        db = Database()
+        db.register(relation)
+        result = db.execute(tpch_queries.Q1_SQL, include_scan=False)
+        for row in result.rows:
+            sum_qty = Fraction(*row[2].to_fraction_parts())
+            avg_qty = Fraction(*row[6].to_fraction_parts())
+            count = row[9].unscaled
+            exact_avg = sum_qty / count
+            assert abs(avg_qty - exact_avg) < Fraction(1, 10**3)
+
+
+class TestTable1Model:
+    def test_parity_for_non_decimal_queries(self):
+        rows = tpch_queries.table1_rows()
+        for name, row in rows.items():
+            profile = tpch.TPCH_PROFILES[name]
+            delta = abs(row["UltraPrecise"] - row["RateupDB"]) / row["RateupDB"]
+            if profile.subquery_decimal_delivery:
+                assert delta > 0.2  # Q18/Q20 regress noticeably
+            else:
+                assert delta < 0.05  # parity
+
+    def test_q18_q20_match_paper_direction(self):
+        rows = tpch_queries.table1_rows()
+        for name in ("Q18", "Q20"):
+            assert rows[name]["UltraPrecise"] > rows[name]["RateupDB"]
+            paper = rows[name]["UltraPrecise (paper)"]
+            assert abs(rows[name]["UltraPrecise"] - paper) / paper < 0.25

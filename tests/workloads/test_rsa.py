@@ -1,0 +1,55 @@
+"""Tests for the RSA workload (Query 4)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.workloads import rsa
+
+
+class TestKeyGeneration:
+    @pytest.mark.parametrize("precision", [18, 36, 72])
+    def test_modulus_digit_length(self, precision):
+        modulus = rsa.generate_modulus(precision, seed=precision)
+        assert len(str(modulus)) == precision
+
+    def test_modulus_is_semiprime_like(self):
+        # Not prime itself, and odd (products of two odd primes).
+        modulus = rsa.generate_modulus(18, seed=1)
+        assert modulus % 2 == 1
+        assert not rsa._is_probable_prime(modulus)
+
+    def test_deterministic(self):
+        assert rsa.generate_modulus(18, seed=5) == rsa.generate_modulus(18, seed=5)
+
+    def test_primality_test_basics(self):
+        known_primes = [2, 3, 5, 101, 104729, (1 << 61) - 1]
+        for p in known_primes:
+            assert rsa._is_probable_prime(p)
+        for c in [1, 4, 100, 104730, (1 << 61) - 3]:
+            assert not rsa._is_probable_prime(c)
+
+
+class TestWorkload:
+    def test_query_shape(self):
+        workload = rsa.build_workload(4, rows=10)
+        assert workload.query.startswith("SELECT c1 * c1 %")
+        assert workload.relation.rows == 10
+
+    def test_messages_below_modulus(self):
+        workload = rsa.build_workload(4, rows=50)
+        for message in workload.relation.column("c1").unscaled():
+            assert 0 <= message < workload.modulus
+
+    @pytest.mark.parametrize("length", [4, 8])
+    def test_end_to_end_encryption(self, length):
+        workload = rsa.build_workload(length, rows=40)
+        db = Database()
+        db.register(workload.relation)
+        result = db.execute(workload.query)
+        got = [value.unscaled for (value,) in result.rows]
+        assert got == workload.oracle()
+
+    def test_oracle_is_cube_mod_n(self):
+        workload = rsa.build_workload(4, rows=5)
+        messages = workload.relation.column("c1").unscaled()
+        assert workload.oracle() == [pow(m, 3, workload.modulus) for m in messages]

@@ -1,0 +1,81 @@
+"""Tests for the trigonometric workload (Query 5)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import Database
+from repro.workloads import trig
+
+
+class TestExpression:
+    def test_three_terms_matches_paper(self):
+        """Query 5: c1 - c1*c1*c1/6 + c1*c1*c1*c1*c1/120."""
+        text = trig.sine_expression("c1", 3)
+        assert text == "c1 - c1*c1*c1/6 + c1*c1*c1*c1*c1/120"
+
+    def test_term_count(self):
+        for terms in range(1, 12):
+            text = trig.sine_expression("x", terms)
+            assert text.count("/") == terms - 1
+
+    def test_rejects_zero_terms(self):
+        with pytest.raises(ValueError):
+            trig.sine_expression("x", 0)
+
+
+class TestOracle:
+    @pytest.mark.parametrize("x", [0.01, 0.5, 0.78, 1.0, 1.56])
+    def test_matches_math_sin(self, x):
+        unscaled = int(round(x * 10**8))
+        value = trig.sine_oracle(unscaled)
+        assert float(value) == pytest.approx(math.sin(unscaled / 1e8), abs=1e-12)
+
+    def test_negative_input(self):
+        value = trig.sine_oracle(-50_000_000)  # -0.5
+        assert float(value) == pytest.approx(math.sin(-0.5), abs=1e-12)
+
+    def test_truncated_series(self):
+        unscaled = 78_000_000  # 0.78
+        x = Fraction(unscaled, 10**8)
+        two_terms = trig.truncated_series_oracle(unscaled, 2)
+        assert two_terms == x - x**3 / 6
+
+    def test_mae(self):
+        assert trig.mean_absolute_error([Fraction(1)], [Fraction(3, 2)]) == 0.5
+        with pytest.raises(ValueError):
+            trig.mean_absolute_error([Fraction(1)], [])
+
+
+class TestEndToEnd:
+    def test_error_decreases_then_saturates(self):
+        """More terms improve accuracy until DECIMAL truncation floors it."""
+        workload = trig.build_workload(rows=25, seed=9)
+        db = Database()
+        db.register(workload.relation)
+        truths = workload.oracle("c2")
+        maes = []
+        for terms in (2, 4, 8, 11):
+            result = db.execute(workload.query("c2", terms), include_scan=False)
+            values = [Fraction(*v.to_fraction_parts()) for (v,) in result.rows]
+            maes.append(trig.mean_absolute_error(values, truths))
+        assert maes[0] > maes[1] > maes[2]  # improving
+        assert maes[3] < 1e-20  # deep into high precision
+
+    def test_small_input_saturation(self):
+        """Near 0.01 the error floors around 1e-28 (the s1+4 division rule)."""
+        workload = trig.build_workload(rows=25, seed=9)
+        db = Database()
+        db.register(workload.relation)
+        truths = workload.oracle("c1")
+        result8 = db.execute(workload.query("c1", 8), include_scan=False)
+        result11 = db.execute(workload.query("c1", 11), include_scan=False)
+        mae8 = trig.mean_absolute_error(
+            [Fraction(*v.to_fraction_parts()) for (v,) in result8.rows], truths
+        )
+        mae11 = trig.mean_absolute_error(
+            [Fraction(*v.to_fraction_parts()) for (v,) in result11.rows], truths
+        )
+        assert mae8 < 1e-25
+        assert mae11 == pytest.approx(mae8, rel=2)  # saturated, no improvement
