@@ -32,6 +32,7 @@ if hasattr(sys, "set_int_max_str_digits"):
 from repro.core.decimal import DecimalSpec, DecimalValue, DecimalVector, spec_for_len
 from repro.core.jit import JitOptions, compile_expression
 from repro.engine import Database, QueryResult
+from repro.gpusim.streaming import StreamingConfig
 
 __version__ = "1.0.0"
 
@@ -42,6 +43,7 @@ __all__ = [
     "DecimalVector",
     "JitOptions",
     "QueryResult",
+    "StreamingConfig",
     "compile_expression",
     "spec_for_len",
     "__version__",

@@ -23,21 +23,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.decimal import inference
 from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.value import DecimalValue
-from repro.core.jit import ir
 from repro.core.jit.expr_ast import BinaryOp, ColumnRef, Expr, Literal, UnaryOp, walk
 from repro.core.jit.parser import parse_expression
 from repro.core.jit.type_inference import infer
 from repro.baselines.capabilities import DecimalCapability, capability
-from repro.errors import BaselineError, CapabilityError
+from repro.errors import BaselineError
 from repro.storage.relation import Relation
-from repro.storage.schema import DecimalType
 
 
 @dataclass

@@ -8,11 +8,10 @@ fails all experiments beyond LEN=2; MonetDB and RateupDB stop at LEN=4).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.decimal.context import DecimalSpec, words_for_precision
+from repro.core.decimal.context import DecimalSpec
 from repro.errors import CapabilityError
 
 

@@ -13,7 +13,6 @@ up to 100,000).  Two paper-visible characteristics:
 from __future__ import annotations
 
 from repro.baselines.base import BaselineEngine, EngineCosts
-from repro.core.decimal import inference
 from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.value import DecimalValue
 from repro.errors import DivisionByZeroError

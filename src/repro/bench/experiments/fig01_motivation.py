@@ -9,7 +9,7 @@ low-precision DECIMAL is only 1.04x slower than its own DOUBLE run.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.baselines import CockroachModel, PostgresModel
 from repro.bench.harness import Experiment

@@ -10,7 +10,7 @@ PostgreSQL.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.baselines import create as create_baseline
 from repro.bench.harness import Experiment

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.bench.harness import Experiment, ratio
+from repro.bench.harness import Experiment
 from repro.core.decimal.context import PAPER_LENS, PAPER_RESULT_PRECISIONS, DecimalSpec
 from repro.core.jit import JitOptions, compile_expression
 from repro.gpusim import kernel_time

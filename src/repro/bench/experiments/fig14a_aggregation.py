@@ -9,7 +9,7 @@ PostgreSQL needs +112%/+67%/+29% at LEN=8/16/32.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.baselines import create as create_baseline
 from repro.bench.harness import Experiment

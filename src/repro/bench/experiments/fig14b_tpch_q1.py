@@ -11,7 +11,7 @@ FOR compression accelerates PCIe-inclusive time by 1.38x-4.80x.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.baselines import create as create_baseline
 from repro.bench.harness import Experiment
@@ -124,7 +124,6 @@ def run_compression_study(
     table: List[List] = []
     for length in lengths:
         relation = tpch.lineitem_for_len(length, rows=rows, seed=7)
-        speedups = []
         raw_total = 0
         compressed_total = 0
         for column_name in ("l_quantity", "l_extendedprice"):

@@ -19,7 +19,7 @@ Reproduced behaviours:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.baselines import CockroachModel, H2Model, PostgresModel
 from repro.bench.harness import Experiment

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import List
 
 from repro.bench.harness import Experiment
-from repro.storage.tpch import TPCH_PROFILES, TPCH_ULTRAPRECISE_PAPER_MS
-from repro.workloads.tpch_queries import table1_rows, ultraprecise_tpch_ms
+from repro.storage.tpch import TPCH_PROFILES
+from repro.workloads.tpch_queries import table1_rows
 
 
 def run() -> Experiment:

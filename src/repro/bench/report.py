@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.bench.harness import Experiment
 
@@ -33,6 +33,7 @@ def _build_registry() -> None:
     if _REGISTRY:
         return
     from repro.bench.experiments import (
+        ext_streaming,
         fig01_motivation,
         fig08_query1,
         fig09_query2,
@@ -131,6 +132,12 @@ def _build_registry() -> None:
         sys.modules.setdefault("conftest", importlib.import_module("repro.bench.harness"))
         spec.loader.exec_module(module)
         return module.run_ablation()
+
+    register(
+        "ext_streaming",
+        "Extension: chunked streaming overlaps PCIe transfer with kernels; "
+        "overlap speedup largest at transfer-bound (low) LEN",
+    )(lambda: ext_streaming.run(rows=1200))
 
     # Extension ablations live next to the paper experiments in the report.
     register(

@@ -14,7 +14,7 @@ consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.core.decimal import words as w
@@ -148,7 +148,6 @@ def newton_raphson_divmod(
 
     # Fixed-point fraction bits: enough for the full quotient.
     frac = max(a.bit_length(), d.bit_length()) + 2
-    one = 1 << frac
     two = 2 << frac
 
     # Initial estimate from the leading bits of d: r0 = 2**-ceil(log2 d),

@@ -10,7 +10,6 @@ than hidden arithmetic behaviour.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Union
 
 from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.value import DecimalValue

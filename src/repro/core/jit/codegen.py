@@ -9,10 +9,10 @@ examples and docs display.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.decimal.context import DecimalSpec
-from repro.core.decimal.inference import add_result, div_prescale
+from repro.core.decimal.inference import div_prescale
 from repro.core.jit import ir
 from repro.core.jit.expr_ast import (
     BinaryOp,

@@ -15,8 +15,8 @@ instruction's ``spec``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.decimal.context import DecimalSpec
 

@@ -17,12 +17,12 @@ Optimisations can be switched off individually, which is how the Figure
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
 
 from repro.core.decimal.context import DecimalSpec
 from repro.core.jit import alignment, codegen, constant_folding, nary, type_inference
-from repro.core.jit.expr_ast import Expr, Literal
+from repro.core.jit.expr_ast import Expr
 from repro.core.jit.ir import KernelIR
 from repro.core.jit.parser import parse_expression
 
@@ -75,31 +75,43 @@ def expand_powers(expr: Expr) -> Expr:
     elimination enabled the repeated squares compile to O(log k)
     multiplications; without it the tree still evaluates correctly with
     O(k)-ish work (the ext_cse benchmark quantifies the difference).
+
+    Like every other pass, this is value-oriented: the caller's tree is
+    never modified, so one parsed tree can flow through the whole pipeline.
     """
-    from repro.core.jit.expr_ast import BinaryOp, FuncCall
     import copy
 
-    if isinstance(expr, FuncCall) and expr.function == "POWER":
-        base = expand_powers(expr.argument)
+    from repro.core.jit.expr_ast import (
+        BinaryOp,
+        FuncCall,
+        NaryAdd,
+        NaryMul,
+        UnaryOp,
+    )
 
-        def power(k: int) -> Expr:
-            if k == 1:
-                return copy.deepcopy(base)
-            half = power(k // 2)
-            squared = BinaryOp("*", half, copy.deepcopy(half))
-            if k % 2:
-                return BinaryOp("*", squared, copy.deepcopy(base))
-            return squared
+    if isinstance(expr, FuncCall):
+        if expr.function == "POWER":
+            base = expand_powers(expr.argument)
 
-        return power(expr.scale_arg)
-    for attribute in ("left", "right", "operand", "argument"):
-        child = getattr(expr, attribute, None)
-        if child is not None:
-            setattr(expr, attribute, expand_powers(child))
-    if hasattr(expr, "terms"):
-        expr.terms = [expand_powers(t) for t in expr.terms]
-    if hasattr(expr, "factors"):
-        expr.factors = [expand_powers(f) for f in expr.factors]
+            def power(k: int) -> Expr:
+                if k == 1:
+                    return copy.deepcopy(base)
+                half = power(k // 2)
+                squared = BinaryOp("*", half, copy.deepcopy(half))
+                if k % 2:
+                    return BinaryOp("*", squared, copy.deepcopy(base))
+                return squared
+
+            return power(expr.scale_arg)
+        return FuncCall(expr.function, expand_powers(expr.argument), expr.scale_arg)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, expand_powers(expr.left), expand_powers(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, expand_powers(expr.operand))
+    if isinstance(expr, NaryAdd):
+        return NaryAdd([expand_powers(term) for term in expr.terms])
+    if isinstance(expr, NaryMul):
+        return NaryMul([expand_powers(factor) for factor in expr.factors])
     return expr
 
 
@@ -129,14 +141,19 @@ def compile_expression(
     options: JitOptions = JitOptions(),
     name: str = "calc_expr",
 ) -> CompiledExpression:
-    """Parse, optimise and generate a kernel for an expression string."""
+    """Parse, optimise and generate a kernel for an expression string.
+
+    The expression is parsed exactly once: every pass (including
+    ``expand_powers``) is value-oriented, so the same tree feeds the naive
+    alignment count and the optimiser without defensive re-parsing.
+    """
     parsed = parse_expression(text)
     type_inference.infer(parsed, schema)
-    naive_nary = nary.to_nary(parse_expression(text))
+    naive_nary = nary.to_nary(parsed)
     type_inference.infer(naive_nary, schema)
     alignments_before = alignment.count_alignments(naive_nary)
 
-    tree = optimize(parse_expression(text), schema, options)
+    tree = optimize(parsed, schema, options)
     alignments_after = alignment.count_alignments(tree)
     kernel = codegen.generate_kernel(
         tree,
@@ -178,9 +195,15 @@ class KernelCache:
         options: JitOptions = JitOptions(),
         name: str = "calc_expr",
     ) -> Tuple[CompiledExpression, bool]:
-        """Compile or fetch; returns ``(compiled, was_cached)``."""
+        """Compile or fetch; returns ``(compiled, was_cached)``.
+
+        ``name`` is part of the identity: the kernel label flows into
+        EXPLAIN output and profiler reports, so a ``calc_expr_0`` artefact
+        must never be returned for an ``agg_expr_1`` request.
+        """
         key = (
             text,
+            name,
             tuple(sorted(schema.items(), key=lambda item: item[0])),
             options.cache_key_part(),
         )

@@ -13,7 +13,7 @@ emits (cheap: linear in the instruction count).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict
 
 from repro.core.decimal.context import DecimalSpec
 from repro.core.jit import ir

@@ -15,7 +15,7 @@ traffic) and the timing model stays honest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.decimal import words as w

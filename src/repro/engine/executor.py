@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.engine.plan.physical import Batch, PhysicalOp, QueryContext
+from repro.gpusim import timing as gpu_timing
 
 
 #: Per-operator pipeline overhead at 10M tuples (materialisation, setup).
@@ -16,6 +17,17 @@ def run_plan(chain: List[PhysicalOp], context: QueryContext) -> Batch:
     batch: Optional[Batch] = None
     for op in chain:
         batch = op.run(batch, context)
+    # Streaming defers scan-time H2D copies so kernels can overlap them;
+    # columns no kernel consumed (filter/join/group keys, unused scans)
+    # still have to reach the device -- charge them serially here so the
+    # streamed report never undercounts relative to the serial path.
+    if context.include_transfer and context.pending_transfer:
+        leftover = sum(context.pending_transfer.values())
+        context.pending_transfer.clear()
+        if leftover:
+            context.report.pcie_seconds += gpu_timing.pcie_time(
+                int(leftover), context.device
+            )
     context.report.pipeline_seconds += (
         len(chain) * OPERATOR_OVERHEAD_SECONDS * (context.simulate_rows / 10_000_000)
     )

@@ -9,11 +9,10 @@ estimate), and the end-to-end simulated cost estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.jit.ir import KernelIR
-from repro.core.jit.pipeline import CompiledExpression, JitOptions
+from repro.core.jit.pipeline import JitOptions
 from repro.engine.plan.physical import (
     AggregateOp,
     FilterOp,
@@ -28,6 +27,7 @@ from repro.engine.plan.physical import (
 from repro.engine.sql.ast_nodes import AggregateCall, Query
 from repro.gpusim import timing as gpu_timing
 from repro.gpusim.device import GpuDevice
+from repro.gpusim.streaming import StreamingConfig, stream_timing
 from repro.storage.relation import Relation
 
 
@@ -43,6 +43,17 @@ class KernelPlan:
     alignments_after: int
     estimated_ms: float
     source: str
+    #: Chunked-streaming estimate (set when the plan streams): chunk count
+    #: and the serial-vs-pipelined millisecond split for this kernel.
+    chunks: int = 1
+    serial_ms: Optional[float] = None
+    pipelined_ms: Optional[float] = None
+
+    @property
+    def overlap_speedup(self) -> Optional[float]:
+        if self.serial_ms is None or not self.pipelined_ms:
+            return None
+        return self.serial_ms / self.pipelined_ms
 
 
 @dataclass
@@ -69,6 +80,14 @@ class ExplainResult:
                     f"~{kernel.estimated_ms:.2f} ms "
                     f"(alignments {kernel.alignments_before}->{kernel.alignments_after})"
                 )
+                if kernel.pipelined_ms is not None:
+                    speedup = kernel.overlap_speedup or 1.0
+                    lines.append(
+                        f"      streamed: {kernel.chunks} chunks, "
+                        f"serial {kernel.serial_ms:.2f} ms -> "
+                        f"pipelined {kernel.pipelined_ms:.2f} ms "
+                        f"({speedup:.2f}x overlap)"
+                    )
                 if with_source:
                     lines.append("      " + kernel.source.replace("\n", "\n      "))
         lines.append(f"  estimated compile: {self.estimated_compile_ms:.0f} ms")
@@ -84,6 +103,7 @@ def explain_query(
     jit_options: JitOptions,
     device: GpuDevice,
     joined=None,
+    streaming: Optional[StreamingConfig] = None,
 ) -> ExplainResult:
     """Build an ExplainResult from a planned query."""
     from repro.core.jit.pipeline import compile_expression
@@ -93,6 +113,9 @@ def explain_query(
         schema.update(joined_relation.decimal_schema())
     operators: List[str] = []
     kernels: List[KernelPlan] = []
+    # Mirrors the executor's residency tracking: only a column's first
+    # kernel use pays (and overlaps) its host-to-device transfer.
+    resident: set = set()
 
     def add_kernel(text: str, name: str) -> None:
         bare = text.strip()
@@ -100,18 +123,37 @@ def explain_query(
             return  # bare columns need no kernel
         compiled = compile_expression(text, schema, jit_options, name=name)
         estimate = gpu_timing.kernel_time(compiled.kernel, simulate_rows, device)
-        kernels.append(
-            KernelPlan(
-                name=name,
-                expression=text,
-                optimised_expression=compiled.tree.to_sql(),
-                result_spec=str(compiled.kernel.result_spec),
-                alignments_before=compiled.alignments_before,
-                alignments_after=compiled.alignments_after,
-                estimated_ms=estimate.seconds * 1e3,
-                source=compiled.kernel.source,
-            )
+        plan = KernelPlan(
+            name=name,
+            expression=text,
+            optimised_expression=compiled.tree.to_sql(),
+            result_spec=str(compiled.kernel.result_spec),
+            alignments_before=compiled.alignments_before,
+            alignments_after=compiled.alignments_after,
+            estimated_ms=estimate.seconds * 1e3,
+            source=compiled.kernel.source,
         )
+        if streaming is not None and streaming.enabled:
+            fresh = [
+                column
+                for column in compiled.kernel.input_columns
+                if column not in resident
+            ]
+            resident.update(compiled.kernel.input_columns)
+            transfer_bytes = simulate_rows * sum(
+                compiled.kernel.input_columns[column].compact_bytes for column in fresh
+            )
+            timing = stream_timing(
+                compiled.kernel,
+                simulate_rows,
+                streaming.resolve_chunk_rows(compiled.kernel, device, simulate_rows),
+                device,
+                transfer_bytes=transfer_bytes,
+            )
+            plan.chunks = timing.chunks
+            plan.serial_ms = timing.serial_seconds * 1e3
+            plan.pipelined_ms = timing.pipelined_seconds * 1e3
+        kernels.append(plan)
 
     for op in chain:
         if isinstance(op, ScanOp):
@@ -165,7 +207,12 @@ def explain_query(
         ]
         compile_seconds = gpu_timing.compile_time(compiled_irs)
 
-    total_ms = compile_seconds * 1e3 + sum(k.estimated_ms for k in kernels)
+    # Streamed kernels are estimated at their pipelined time (which folds
+    # in the overlapped H2D transfer); serial kernels at their launch time.
+    total_ms = compile_seconds * 1e3 + sum(
+        k.pipelined_ms if k.pipelined_ms is not None else k.estimated_ms
+        for k in kernels
+    )
     return ExplainResult(
         sql="",
         operators=operators,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,9 +25,36 @@ from repro.errors import ExecutionError, PlanningError
 from repro.gpusim import executor as gpu_executor
 from repro.gpusim import timing as gpu_timing
 from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
+from repro.gpusim.streaming import StreamingConfig, execute_streamed
 from repro.storage.column import Column
 from repro.storage.relation import Relation
-from repro.storage.schema import CharType, DateType, DecimalType, DoubleType, IntType
+from repro.storage.schema import CharType, DateType, DecimalType, DoubleType
+
+
+@dataclass
+class KernelExecution:
+    """Per-kernel launch record: chunking and pipelined-vs-serial timing.
+
+    On the serial path ``chunks=1`` and the two times coincide; on the
+    streamed path ``pipelined_seconds`` is what the report charges while
+    ``serial_seconds`` is what the unchunked path would have cost, so
+    ``overlap_speedup`` is the per-kernel win from transfer/compute overlap.
+    """
+
+    name: str
+    expression: str
+    chunks: int
+    streamed: bool
+    transfer_seconds_per_chunk: float
+    kernel_seconds_per_chunk: float
+    serial_seconds: float
+    pipelined_seconds: float
+
+    @property
+    def overlap_speedup(self) -> float:
+        if self.pipelined_seconds == 0:
+            return 1.0
+        return self.serial_seconds / self.pipelined_seconds
 
 
 @dataclass
@@ -48,6 +75,22 @@ class ExecutionReport:
     kernels_compiled: int = 0
     kernels_cached: int = 0
     simulated_rows: int = 0
+    #: One record per JIT-kernel launch, in execution order.  Streamed
+    #: entries carry the chunk count and the pipelined-vs-serial split.
+    kernel_executions: List[KernelExecution] = field(default_factory=list)
+
+    @property
+    def streamed_kernels(self) -> List[KernelExecution]:
+        return [entry for entry in self.kernel_executions if entry.streamed]
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Aggregate serial/pipelined ratio across the streamed kernels."""
+        streamed = self.streamed_kernels
+        pipelined = sum(entry.pipelined_seconds for entry in streamed)
+        if pipelined == 0:
+            return 1.0
+        return sum(entry.serial_seconds for entry in streamed) / pipelined
 
     @property
     def total_seconds(self) -> float:
@@ -99,6 +142,13 @@ class QueryContext:
     include_transfer: bool = True
     include_compile: bool = True
     tpi: int = 8  # thread-group width for aggregation
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    #: Simulated bytes of scanned columns not yet shipped to the device.
+    #: With streaming enabled, ScanOp defers its PCIe charge here; the
+    #: first kernel consuming a column pipelines its transfer against
+    #: compute, and :func:`repro.engine.executor.run_plan` flushes whatever
+    #: no kernel consumed as a plain serial transfer.
+    pending_transfer: Dict[str, float] = field(default_factory=dict)
     report: ExecutionReport = field(default_factory=ExecutionReport)
 
 
@@ -126,7 +176,18 @@ class ScanOp(PhysicalOp):
         if context.include_scan:
             context.report.scan_seconds += gpu_timing.disk_scan_time(simulated_bytes, context.host)
         if context.include_transfer:
-            context.report.pcie_seconds += gpu_timing.pcie_time(simulated_bytes, context.device)
+            if context.streaming.enabled:
+                # Defer the H2D copy: the first kernel touching each column
+                # streams its transfer chunk-wise, overlapped with compute.
+                for name in self.columns:
+                    context.pending_transfer[name] = (
+                        context.pending_transfer.get(name, 0.0)
+                        + relation.bytes_for([name]) * scale
+                    )
+            else:
+                context.report.pcie_seconds += gpu_timing.pcie_time(
+                    simulated_bytes, context.device
+                )
         columns = {name: relation.column(name) for name in self.columns}
         context.report.simulated_rows = context.simulate_rows
         return Batch(columns=columns, rows=relation.rows, simulated_rows=float(context.simulate_rows))
@@ -461,6 +522,8 @@ def _evaluate_expression(
     if bare in batch.columns and isinstance(
         batch.columns[bare].column_type, DecimalType
     ):
+        # No kernel to overlap with: a deferred transfer ships serially.
+        _flush_pending_transfer(context, [bare])
         return batch.columns[bare].decimal_vector()
     schema = {
         name: column.column_type.spec
@@ -485,11 +548,77 @@ def _evaluate_expression(
         name: batch.column(name).data for name in compiled.kernel.input_columns
     }
     sim = max(int(round(batch.simulated_rows)), 1)
+    if context.streaming.enabled:
+        return _execute_streamed_kernel(compiled.kernel, inputs, batch, sim, context)
     run = gpu_executor.execute(
         compiled.kernel, inputs, batch.rows, device=context.device, simulate_tuples=sim
     )
     context.report.kernel_seconds += run.timing.seconds
+    context.report.kernel_executions.append(
+        KernelExecution(
+            name=compiled.kernel.name,
+            expression=compiled.kernel.expression_sql,
+            chunks=1,
+            streamed=False,
+            transfer_seconds_per_chunk=0.0,
+            kernel_seconds_per_chunk=run.timing.seconds,
+            serial_seconds=run.timing.seconds,
+            pipelined_seconds=run.timing.seconds,
+        )
+    )
     return run.result
+
+
+def _execute_streamed_kernel(
+    kernel, inputs: Dict[str, np.ndarray], batch: Batch, sim: int, context: QueryContext
+) -> DecimalVector:
+    """Run one kernel through the chunked streaming path.
+
+    Only columns not yet resident on the device (their scan-time transfer
+    is still pending) contribute to the overlapped H2D copy; the report
+    splits the pipelined total into pure compute (``kernel_seconds``) and
+    the exposed, non-overlapped transfer remainder (``pcie_seconds``), so
+    ``report.total_seconds`` reflects the pipelined time.
+    """
+    transfer_bytes = 0.0
+    if context.include_transfer:
+        for column in kernel.input_columns:
+            transfer_bytes += context.pending_transfer.pop(column, 0.0)
+    chunk_rows = context.streaming.resolve_chunk_rows(kernel, context.device, sim)
+    run = execute_streamed(
+        kernel,
+        inputs,
+        batch.rows,
+        simulate_tuples=sim,
+        chunk_rows=chunk_rows,
+        device=context.device,
+        transfer_bytes=int(transfer_bytes),
+    )
+    compute_total = run.kernel_seconds_per_chunk * run.chunks
+    context.report.kernel_seconds += compute_total
+    context.report.pcie_seconds += max(run.pipelined_seconds - compute_total, 0.0)
+    context.report.kernel_executions.append(
+        KernelExecution(
+            name=kernel.name,
+            expression=kernel.expression_sql,
+            chunks=run.chunks,
+            streamed=True,
+            transfer_seconds_per_chunk=run.transfer_seconds_per_chunk,
+            kernel_seconds_per_chunk=run.kernel_seconds_per_chunk,
+            serial_seconds=run.serial_seconds,
+            pipelined_seconds=run.pipelined_seconds,
+        )
+    )
+    return run.result
+
+
+def _flush_pending_transfer(context: QueryContext, columns) -> None:
+    """Serially charge deferred transfers for columns used outside a kernel."""
+    if not context.include_transfer:
+        return
+    pending = sum(context.pending_transfer.pop(name, 0.0) for name in columns)
+    if pending:
+        context.report.pcie_seconds += gpu_timing.pcie_time(int(pending), context.device)
 
 
 def _evaluate_predicate(column: Column, predicate: Comparison) -> np.ndarray:

@@ -10,7 +10,6 @@ from repro.engine.plan.logical import (
     LogicalHaving,
     LogicalJoin,
     LogicalLimit,
-    LogicalNode,
     LogicalProject,
     LogicalScan,
     LogicalSort,

@@ -17,8 +17,8 @@ the actual row count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 from repro.core.decimal.value import DecimalValue
 from repro.core.jit.pipeline import JitOptions, KernelCache
@@ -27,8 +27,8 @@ from repro.engine.plan.physical import Batch, ExecutionReport, QueryContext
 from repro.engine.plan.planner import plan_query
 from repro.engine.sql.ast_nodes import Query
 from repro.engine.sql.parser import parse_query
-from repro.errors import CatalogError
 from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
+from repro.gpusim.streaming import StreamingConfig
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 from repro.storage.schema import CharType, DecimalType
@@ -63,6 +63,7 @@ class Database:
         host: HostSystem = DEFAULT_HOST,
         jit_options: JitOptions = None,
         aggregation_tpi: int = 8,
+        streaming: Optional[StreamingConfig] = None,
     ):
         self.catalog = Catalog()
         self.device = device
@@ -70,6 +71,7 @@ class Database:
         self.simulate_rows = simulate_rows
         self.jit_options = jit_options if jit_options is not None else JitOptions()
         self.aggregation_tpi = aggregation_tpi
+        self.streaming = streaming if streaming is not None else StreamingConfig()
         self.kernel_cache = KernelCache()
 
     # ----------------------------------------------------------------- DDL
@@ -103,12 +105,19 @@ class Database:
         include_transfer: bool = True,
         include_compile: bool = True,
         simulate_rows: Optional[int] = None,
+        streaming: Optional[StreamingConfig] = None,
     ) -> QueryResult:
-        """Parse, plan, and execute a SELECT statement."""
+        """Parse, plan, and execute a SELECT statement.
+
+        ``simulate_rows`` overrides the database-level setting for this
+        query; an explicit ``0`` is honoured (charge nothing), only ``None``
+        falls back.  ``streaming`` likewise overrides the database-level
+        chunked-execution config per query.
+        """
         query = parse_query(sql)
         relation = self.catalog.get(query.table)
         joined = {join.table: self.catalog.get(join.table) for join in query.joins}
-        sim = simulate_rows or self.simulate_rows or relation.rows
+        sim = self._resolve_simulate_rows(simulate_rows, relation)
         context = QueryContext(
             relation=relation,
             joined=joined,
@@ -121,6 +130,7 @@ class Database:
             include_transfer=include_transfer,
             include_compile=include_compile,
             tpi=self.aggregation_tpi,
+            streaming=streaming if streaming is not None else self.streaming,
         )
         chain = plan_query(
             query,
@@ -135,31 +145,56 @@ class Database:
             query=query,
         )
 
-    def explain(self, sql: str, simulate_rows: Optional[int] = None):
+    def explain(
+        self,
+        sql: str,
+        simulate_rows: Optional[int] = None,
+        streaming: Optional[StreamingConfig] = None,
+    ):
         """Plan (but do not fully execute) a query; returns an ExplainResult.
 
         Shows the operator chain, every kernel the JIT would generate (with
-        its optimised expression and the Listing-1-style source), and the
-        simulated cost estimates.
+        its optimised expression and the Listing-1-style source), the
+        simulated cost estimates, and -- with streaming enabled -- each
+        kernel's chunk count and pipelined-vs-serial estimate.
         """
         from repro.engine.explain import explain_query
 
         query = parse_query(sql)
         relation = self.catalog.get(query.table)
         joined = {join.table: self.catalog.get(join.table) for join in query.joins}
-        sim = simulate_rows or self.simulate_rows or relation.rows
+        sim = self._resolve_simulate_rows(simulate_rows, relation)
         chain = plan_query(
             query,
             relation.column_names,
             {name: rel.column_names for name, rel in joined.items()},
         )
         result = explain_query(
-            query, chain, relation, sim, self.jit_options, self.device, joined=joined
+            query,
+            chain,
+            relation,
+            sim,
+            self.jit_options,
+            self.device,
+            joined=joined,
+            streaming=streaming if streaming is not None else self.streaming,
         )
         result.sql = sql.strip()
         return result
 
     # ------------------------------------------------------------ plumbing
+
+    def _resolve_simulate_rows(self, simulate_rows: Optional[int], relation) -> int:
+        """Per-call override > database default > actual row count.
+
+        Explicit ``is None`` checks, not truthiness: ``simulate_rows=0``
+        must charge zero rows rather than silently fall through the chain.
+        """
+        if simulate_rows is not None:
+            return simulate_rows
+        if self.simulate_rows is not None:
+            return self.simulate_rows
+        return relation.rows
 
     def _output_names(self, query: Query, batch: Batch) -> List[str]:
         names = []

@@ -16,7 +16,7 @@ such an expression.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 AGGREGATE_FUNCTIONS = ("SUM", "AVG", "MIN", "MAX", "COUNT")
 

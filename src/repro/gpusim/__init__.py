@@ -10,7 +10,19 @@ JIT-compilation and disk-scan terms for query-level timing.
 from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
 from repro.gpusim.executor import KernelRun, execute
 from repro.gpusim.occupancy import Occupancy
-from repro.gpusim.profiler import KernelProfile, profile_kernel
+from repro.gpusim.profiler import (
+    KernelProfile,
+    StreamedKernelProfile,
+    profile_kernel,
+    profile_kernel_streamed,
+)
+from repro.gpusim.streaming import (
+    StreamedRun,
+    StreamingConfig,
+    StreamTiming,
+    execute_streamed,
+    stream_timing,
+)
 from repro.gpusim.timing import (
     KernelTiming,
     compile_time,
@@ -28,10 +40,17 @@ __all__ = [
     "KernelRun",
     "KernelTiming",
     "Occupancy",
+    "StreamTiming",
+    "StreamedKernelProfile",
+    "StreamedRun",
+    "StreamingConfig",
     "compile_time",
     "disk_scan_time",
     "execute",
+    "execute_streamed",
     "kernel_time",
     "pcie_time",
     "profile_kernel",
+    "profile_kernel_streamed",
+    "stream_timing",
 ]

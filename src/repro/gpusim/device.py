@@ -28,6 +28,8 @@ class GpuDevice:
     shared_memory_per_block: int = 100 * 1024  # bytes (A6000: up to 100 KB)
     warp_size: int = 32
 
+    #: GDDR6 capacity (bytes); bounds the streaming auto-chunk size.
+    memory_bytes: float = 48e9
     #: GDDR6 peak bandwidth (bytes/s).
     dram_bandwidth: float = 768e9
     #: Fraction of peak DRAM bandwidth a fully-occupied, coalesced kernel

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.core.decimal.context import DecimalSpec
 from repro.core.jit import ir
 
 #: Issue cost, in cycles per instruction per thread, of each PTX class.

@@ -12,13 +12,18 @@ per-chunk transfer and kernel stages::
     total = first_transfer + max(transfer, kernel) * (chunks - 1) + last_kernel
 
 compared with the serial ``transfer_total + kernel_total``.
+
+:class:`StreamingConfig` is the engine-facing knob: the ``Database``
+facade threads it through :class:`~repro.engine.plan.physical.QueryContext`
+to the projection/aggregation operators, which route every JIT kernel
+through this module instead of the monolithic executor.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -31,6 +36,106 @@ from repro.gpusim.timing import kernel_time, pcie_time
 
 #: Default rows per stream chunk.
 DEFAULT_CHUNK_ROWS = 1_000_000
+
+#: Auto-sizing floor: chunks smaller than this are launch-overhead bound.
+MIN_AUTO_CHUNK_ROWS = 65_536
+
+#: Auto-sizing target: enough chunks that the first transfer and last
+#: kernel (the pipeline's un-overlapped ends) are a small share of total.
+AUTO_PIPELINE_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Engine configuration for chunked streaming execution.
+
+    ``chunk_rows=None`` auto-sizes chunks per kernel: each in-flight chunk
+    set (double-buffered inputs plus the result column) must fit in
+    ``memory_fraction`` of the device's DRAM -- so wide LEN configurations
+    stream in proportionally smaller chunks -- and the batch is split into
+    at least :data:`AUTO_PIPELINE_DEPTH` chunks so the pipeline's fill and
+    drain stages stay a small share of the total.
+    """
+
+    enabled: bool = False
+    chunk_rows: Optional[int] = DEFAULT_CHUNK_ROWS
+    #: Fraction of device memory one pipelined chunk set may occupy.
+    memory_fraction: float = 0.125
+
+    def resolve_chunk_rows(
+        self, kernel: ir.KernelIR, device: GpuDevice, tuples: Optional[int] = None
+    ) -> int:
+        """Rows per chunk for one kernel (explicit, or auto-sized)."""
+        if self.chunk_rows is not None:
+            if self.chunk_rows < 1:
+                raise ExecutionError("chunk_rows must be positive")
+            return self.chunk_rows
+        # Double-buffered inputs (copy of chunk N+1 overlaps compute on N)
+        # plus the result column written back.
+        bytes_per_row = 2 * kernel.bytes_read_per_tuple + kernel.bytes_written_per_tuple
+        budget = self.memory_fraction * device.memory_bytes
+        rows = int(budget / max(bytes_per_row, 1))
+        if tuples is not None:
+            rows = min(rows, math.ceil(tuples / AUTO_PIPELINE_DEPTH))
+        return max(MIN_AUTO_CHUNK_ROWS, rows)
+
+
+@dataclass(frozen=True)
+class StreamTiming:
+    """The pipelined-vs-serial time model of one chunked execution."""
+
+    chunks: int
+    transfer_seconds_per_chunk: float
+    kernel_seconds_per_chunk: float
+
+    @property
+    def serial_seconds(self) -> float:
+        return self.chunks * (
+            self.transfer_seconds_per_chunk + self.kernel_seconds_per_chunk
+        )
+
+    @property
+    def pipelined_seconds(self) -> float:
+        if self.chunks == 0:
+            return 0.0
+        transfer = self.transfer_seconds_per_chunk
+        compute = self.kernel_seconds_per_chunk
+        return transfer + max(transfer, compute) * (self.chunks - 1) + compute
+
+    @property
+    def overlap_speedup(self) -> float:
+        if self.pipelined_seconds == 0:
+            return 1.0
+        return self.serial_seconds / self.pipelined_seconds
+
+
+def stream_timing(
+    kernel: ir.KernelIR,
+    simulate_tuples: int,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    device: GpuDevice = DEFAULT_DEVICE,
+    transfer_bytes: Optional[int] = None,
+) -> StreamTiming:
+    """Time model of a chunked execution, without running the data plane.
+
+    ``transfer_bytes`` overrides the host-to-device payload (the engine
+    passes only the bytes of columns not already resident on the device);
+    the default ships every kernel input column in full.
+    """
+    if chunk_rows < 1:
+        raise ExecutionError("chunk_rows must be positive")
+    if simulate_tuples <= 0:
+        return StreamTiming(0, 0.0, 0.0)
+    chunks = max(1, math.ceil(simulate_tuples / chunk_rows))
+    rows_per_chunk = simulate_tuples / chunks
+    if transfer_bytes is None:
+        bytes_per_tuple = sum(
+            spec.compact_bytes for spec in kernel.input_columns.values()
+        )
+        transfer_bytes = int(bytes_per_tuple * simulate_tuples)
+    transfer = pcie_time(int(transfer_bytes / chunks), device)
+    compute = kernel_time(kernel, int(rows_per_chunk), device).seconds
+    return StreamTiming(chunks, transfer, compute)
 
 
 @dataclass
@@ -58,16 +163,31 @@ def execute_streamed(
     simulate_tuples: int,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     device: GpuDevice = DEFAULT_DEVICE,
+    transfer_bytes: Optional[int] = None,
 ) -> StreamedRun:
     """Execute a kernel in chunks with modelled transfer/compute overlap.
 
     ``tuples`` real rows are processed (in ``ceil(tuples / real_chunk)``
     chunks sized proportionally to the simulated chunking); timing uses
-    ``simulate_tuples`` split into ``chunk_rows`` chunks.
+    ``simulate_tuples`` split into ``chunk_rows`` chunks.  An empty input
+    (``tuples=0``) is a valid no-op: the run carries an empty result
+    vector, ``chunks=0`` and zero timings.
     """
     if chunk_rows < 1:
         raise ExecutionError("chunk_rows must be positive")
-    chunks = max(1, math.ceil(simulate_tuples / chunk_rows))
+    if tuples == 0:
+        return StreamedRun(
+            result=_empty_vector(kernel),
+            chunks=0,
+            transfer_seconds_per_chunk=0.0,
+            kernel_seconds_per_chunk=0.0,
+            serial_seconds=0.0,
+            pipelined_seconds=0.0,
+        )
+    timing = stream_timing(
+        kernel, simulate_tuples, chunk_rows, device, transfer_bytes=transfer_bytes
+    )
+    chunks = max(timing.chunks, 1)
 
     # Real data plane: process in the same number of chunks.
     real_chunk = max(1, math.ceil(tuples / chunks))
@@ -84,22 +204,22 @@ def execute_streamed(
         pieces.append(piece.result)
     result = _concatenate(pieces)
 
-    # Time model: per-chunk transfer and kernel stages.
-    rows_per_chunk = simulate_tuples / chunks
-    bytes_per_tuple = sum(
-        spec.compact_bytes for spec in kernel.input_columns.values()
-    )
-    transfer = pcie_time(int(bytes_per_tuple * rows_per_chunk), device)
-    compute = kernel_time(kernel, int(rows_per_chunk), device).seconds
-    serial = chunks * (transfer + compute)
-    pipelined = transfer + max(transfer, compute) * max(chunks - 1, 0) + compute
     return StreamedRun(
         result=result,
-        chunks=chunks,
-        transfer_seconds_per_chunk=transfer,
-        kernel_seconds_per_chunk=compute,
-        serial_seconds=serial,
-        pipelined_seconds=pipelined,
+        chunks=timing.chunks,
+        transfer_seconds_per_chunk=timing.transfer_seconds_per_chunk,
+        kernel_seconds_per_chunk=timing.kernel_seconds_per_chunk,
+        serial_seconds=timing.serial_seconds,
+        pipelined_seconds=timing.pipelined_seconds,
+    )
+
+
+def _empty_vector(kernel: ir.KernelIR) -> DecimalVector:
+    spec = kernel.result_spec
+    return DecimalVector(
+        spec,
+        np.zeros(0, dtype=bool),
+        np.zeros((0, spec.words), dtype=np.uint32),
     )
 
 

@@ -16,8 +16,7 @@ IV-D1), and a host-side disk scan when the experiment includes I/O.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
 
 from repro.core.jit import ir
 from repro.gpusim import memory, occupancy, ptx

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, List
 
 from repro.errors import CatalogError
 from repro.storage.relation import Relation

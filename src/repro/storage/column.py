@@ -7,8 +7,8 @@ kernels load and expand.  Other types use plain numpy arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

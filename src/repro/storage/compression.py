@@ -12,8 +12,7 @@ fixed-width deltas sized by the block's value range.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.core.decimal.context import DecimalSpec

@@ -18,7 +18,7 @@ Relation builders mirror the paper's experiments:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -8,7 +8,6 @@ names and types.
 
 from __future__ import annotations
 
-import io
 import json
 from pathlib import Path
 from typing import Union

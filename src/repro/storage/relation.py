@@ -9,12 +9,12 @@ section III-B) -- which is what lets the JIT engine bake them into kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, List
 
 from repro.core.decimal.context import DecimalSpec
 from repro.errors import SchemaError
 from repro.storage.column import Column
-from repro.storage.schema import DecimalType, is_decimal
+from repro.storage.schema import is_decimal
 
 
 @dataclass

@@ -15,11 +15,9 @@ is only 1.04x slower than DOUBLE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.core.decimal.context import DecimalSpec
-from repro.storage.column import Column
 from repro.storage.datagen import decimal_column
 from repro.storage.relation import Relation
 

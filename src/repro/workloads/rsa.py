@@ -15,7 +15,7 @@ is ``(p2, 0)``, and LEN here tracks the modulus width).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -9,8 +9,7 @@ run at parity, and that Q18/Q20's subquery DECIMAL delivery costs extra.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.storage.tpch import (
     TPCH_PROFILES,

@@ -17,11 +17,10 @@ truth to well over a hundred fractional digits).
 
 from __future__ import annotations
 
-import decimal
 from dataclasses import dataclass
 from fractions import Fraction
 from math import factorial
-from typing import Dict, List
+from typing import List
 
 from repro.storage.datagen import relation_r5
 from repro.storage.relation import Relation

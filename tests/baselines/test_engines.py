@@ -5,10 +5,8 @@ from fractions import Fraction
 import pytest
 
 from repro.baselines import (
-    CockroachModel,
     H2Model,
     HeavyAiModel,
-    MonetDBModel,
     PostgresModel,
     RateupDBModel,
     create,
@@ -135,7 +133,6 @@ class TestCostShapes:
         engine = PostgresModel()
         agg_profile = profile_expression("c1", small_relation.decimal_schema())
         agg_profile.agg_digits.append(20)
-        expr_profile = profile_expression("c1 + c2", small_relation.decimal_schema())
         agg_per_tuple = engine.query_seconds(agg_profile, SIM, include_scan=False) / SIM
         serial_equivalent = engine.costs.arithmetic_seconds(agg_profile)
         assert agg_per_tuple < serial_equivalent  # workers > 1

@@ -4,7 +4,6 @@ The full-size assertions live in benchmarks/; these tests guarantee the
 experiment modules stay runnable from the plain test suite.
 """
 
-import pytest
 
 from repro.bench.experiments import (
     fig01_motivation,

@@ -7,7 +7,6 @@ full stack (specs, compact layout, vector arithmetic, kernels) at
 precisions far beyond the evaluation's LEN=32.
 """
 
-import pytest
 
 from repro.core.decimal.context import DecimalSpec, words_for_precision
 from repro.core.decimal.value import DecimalValue

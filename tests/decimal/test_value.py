@@ -121,9 +121,6 @@ class TestDiv:
     def test_matches_truncated_fraction(self, a, b):
         assume(not b.is_zero)
         result_spec = inference.div_result(a.spec, b.spec)
-        exact = Fraction(a.unscaled * 10 ** inference.div_prescale(b.spec), 1) / Fraction(
-            abs(b.unscaled), 1
-        )
         expected_magnitude = abs(a.unscaled) * 10 ** inference.div_prescale(b.spec) // abs(
             b.unscaled
         )

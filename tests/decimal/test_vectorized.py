@@ -1,11 +1,9 @@
 """Tests for vectorised column arithmetic against the scalar oracle."""
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.decimal import inference
 from repro.core.decimal import vectorized as vz
 from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.value import DecimalValue

@@ -1,7 +1,7 @@
 """Tests for the multi-word limb arithmetic (carry chains, bfind, pow10)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.decimal import words as w

@@ -1,6 +1,5 @@
 """End-to-end tests for the Database facade against big-integer oracles."""
 
-from fractions import Fraction
 
 import pytest
 

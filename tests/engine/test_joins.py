@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.decimal.context import DecimalSpec
 from repro.engine import Database
 from repro.errors import CatalogError, ParseError
 

@@ -7,7 +7,13 @@ from repro.core.decimal.vectorized import DecimalVector
 from repro.core.jit import compile_expression
 from repro.errors import ExecutionError
 from repro.gpusim import execute
-from repro.gpusim.streaming import execute_streamed
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.streaming import (
+    MIN_AUTO_CHUNK_ROWS,
+    StreamingConfig,
+    execute_streamed,
+    stream_timing,
+)
 
 SPEC = DecimalSpec(30, 2)
 
@@ -52,6 +58,51 @@ class TestCorrectness:
         with pytest.raises(ExecutionError):
             execute_streamed(kernel, columns, 5, simulate_tuples=10, chunk_rows=0)
 
+    def test_chunk_rows_larger_than_tuples(self):
+        kernel, columns, expected = setup(rows=7)
+        run = execute_streamed(
+            kernel, columns, 7, simulate_tuples=7, chunk_rows=1_000_000
+        )
+        assert run.chunks == 1
+        assert run.result.to_unscaled() == expected
+
+    def test_empty_input_is_a_valid_noop(self):
+        """tuples=0 returns an empty StreamedRun, not an ExecutionError."""
+        kernel, columns, _ = setup(rows=5)
+        empty = {name: data[:0] for name, data in columns.items()}
+        run = execute_streamed(kernel, empty, 0, simulate_tuples=0)
+        assert run.chunks == 0
+        assert run.result.to_unscaled() == []
+        assert run.result.spec == kernel.result_spec
+        assert run.serial_seconds == 0.0
+        assert run.pipelined_seconds == 0.0
+        assert run.overlap_speedup == 1.0
+
+    @pytest.mark.parametrize("expression", ["a + b", "a * b", "a / b"])
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 10, 64, 1_000])
+    def test_bit_exact_across_kernels_and_chunk_sizes(self, expression, chunk_rows):
+        """Chunked results equal the unchunked run for add/mul/div kernels."""
+        spec = DecimalSpec(20, 2)
+        schema = {"a": spec, "b": spec}
+        compiled = compile_expression(expression, schema)
+        rows = 53
+        values_a = [i * 101 - 2_500 for i in range(rows)]
+        values_b = [i * 13 + 7 for i in range(rows)]  # never zero
+        columns = {
+            "a": DecimalVector.from_unscaled(values_a, spec).to_compact(),
+            "b": DecimalVector.from_unscaled(values_b, spec).to_compact(),
+        }
+        monolithic = execute(compiled.kernel, columns, rows)
+        streamed = execute_streamed(
+            compiled.kernel,
+            columns,
+            rows,
+            simulate_tuples=rows,
+            chunk_rows=chunk_rows,
+        )
+        assert streamed.result.to_unscaled() == monolithic.result.to_unscaled()
+        assert streamed.result.spec == monolithic.result.spec
+
 
 class TestOverlapModel:
     def test_pipelining_beats_serial(self):
@@ -92,3 +143,80 @@ class TestOverlapModel:
         kernel, columns, _ = setup(rows=20)
         run = execute_streamed(kernel, columns, 20, simulate_tuples=100_000)
         assert run.pipelined_seconds == pytest.approx(run.serial_seconds)
+
+    def test_transfer_bytes_override(self):
+        """transfer_bytes=0 models already-resident inputs: no PCIe stage."""
+        kernel, columns, _ = setup(rows=20)
+        run = execute_streamed(
+            kernel,
+            columns,
+            20,
+            simulate_tuples=10_000_000,
+            chunk_rows=1_000_000,
+            transfer_bytes=0,
+        )
+        assert run.transfer_seconds_per_chunk == 0.0
+        assert run.pipelined_seconds == pytest.approx(
+            run.kernel_seconds_per_chunk * run.chunks
+        )
+        assert run.serial_seconds == pytest.approx(run.pipelined_seconds)
+
+
+class TestStreamingConfig:
+    def test_explicit_chunk_rows_win(self):
+        kernel, _, _ = setup(rows=5)
+        config = StreamingConfig(enabled=True, chunk_rows=123_456)
+        assert config.resolve_chunk_rows(kernel, GpuDevice()) == 123_456
+
+    def test_auto_sizing_respects_memory_budget(self):
+        kernel, _, _ = setup(rows=5)
+        config = StreamingConfig(enabled=True, chunk_rows=None)
+        small = GpuDevice(memory_bytes=64e6)
+        big = GpuDevice(memory_bytes=48e9)
+        assert config.resolve_chunk_rows(kernel, small) < config.resolve_chunk_rows(
+            kernel, big
+        )
+        bytes_per_row = (
+            2 * kernel.bytes_read_per_tuple + kernel.bytes_written_per_tuple
+        )
+        rows = config.resolve_chunk_rows(kernel, small)
+        assert rows == max(
+            MIN_AUTO_CHUNK_ROWS,
+            int(config.memory_fraction * small.memory_bytes / bytes_per_row),
+        )
+
+    def test_auto_sizing_targets_pipeline_depth(self):
+        """Even when memory is plentiful, auto mode still chunks the batch."""
+        kernel, _, _ = setup(rows=5)
+        config = StreamingConfig(enabled=True, chunk_rows=None)
+        rows = config.resolve_chunk_rows(kernel, GpuDevice(), tuples=10_000_000)
+        timing = stream_timing(kernel, 10_000_000, rows)
+        assert timing.chunks > 1
+
+    def test_auto_sizing_floor(self):
+        kernel, _, _ = setup(rows=5)
+        config = StreamingConfig(enabled=True, chunk_rows=None)
+        rows = config.resolve_chunk_rows(kernel, GpuDevice(), tuples=1_000)
+        assert rows == MIN_AUTO_CHUNK_ROWS
+
+    def test_bad_explicit_chunk_rows(self):
+        kernel, _, _ = setup(rows=5)
+        with pytest.raises(ExecutionError):
+            StreamingConfig(enabled=True, chunk_rows=0).resolve_chunk_rows(
+                kernel, GpuDevice()
+            )
+
+
+class TestStreamedProfiler:
+    def test_profile_kernel_streamed(self):
+        from repro.gpusim.profiler import profile_kernel_streamed
+
+        kernel, _, _ = setup(rows=5)
+        profile = profile_kernel_streamed(
+            kernel, tuples=10_000_000, chunk_rows=1_000_000
+        )
+        assert profile.chunks == 10
+        assert profile.pipelined_ms < profile.serial_ms
+        assert profile.overlap_speedup > 1.0
+        assert profile.profile.kernel_name == kernel.name
+        assert "streamed x10" in str(profile)

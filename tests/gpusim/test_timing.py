@@ -4,9 +4,8 @@ import pytest
 
 from repro.core.decimal.context import PAPER_RESULT_PRECISIONS, DecimalSpec
 from repro.core.jit import JitOptions, compile_expression
-from repro.core.jit import ir
 from repro.gpusim import kernel_time, occupancy, pcie_time, profile_kernel
-from repro.gpusim.device import DEFAULT_DEVICE, GpuDevice
+from repro.gpusim.device import DEFAULT_DEVICE
 from repro.gpusim import memory, timing
 
 

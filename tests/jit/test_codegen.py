@@ -5,7 +5,7 @@ import pytest
 from repro.core.decimal.context import DecimalSpec
 from repro.core.jit import ir
 from repro.core.jit.pipeline import JitOptions, KernelCache, compile_expression
-from repro.errors import ParseError, TypeInferenceError
+from repro.errors import TypeInferenceError
 
 
 class TestKernelIR:
@@ -100,6 +100,22 @@ class TestKernelCache:
         cache.compile("a + 1", self.SCHEMA)
         _, cached = cache.compile("a + 1", self.SCHEMA, JitOptions(tpi=8))
         assert not cached
+
+    def test_name_is_part_of_the_identity(self):
+        """A kernel compiled as calc_expr must not answer for agg_expr_1.
+
+        The label flows into EXPLAIN and profiler output; a cache hit
+        across names would report the wrong kernel name.
+        """
+        cache = KernelCache()
+        first, cached1 = cache.compile("a + 1", self.SCHEMA, name="calc_expr_0")
+        second, cached2 = cache.compile("a + 1", self.SCHEMA, name="agg_expr_1")
+        assert not cached1 and not cached2
+        assert first.kernel.name == "calc_expr_0"
+        assert second.kernel.name == "agg_expr_1"
+        # Same name still hits.
+        third, cached3 = cache.compile("a + 1", self.SCHEMA, name="agg_expr_1")
+        assert cached3 and third is second
 
     def test_clear(self):
         cache = KernelCache()

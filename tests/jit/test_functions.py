@@ -8,7 +8,7 @@ from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.vectorized import DecimalVector
 from repro.core.jit import compile_expression
 from repro.core.jit.parser import parse_expression
-from repro.core.jit.expr_ast import FuncCall, Literal
+from repro.core.jit.expr_ast import FuncCall
 from repro.errors import ParseError
 from repro.gpusim import execute
 

@@ -1,12 +1,11 @@
 """Tests for n-ary transforms, alignment scheduling and constant folding."""
 
-from fractions import Fraction
 
 import pytest
 
 from repro.core.decimal.context import DecimalSpec
-from repro.core.jit import alignment, constant_folding, nary, type_inference
-from repro.core.jit.expr_ast import BinaryOp, ColumnRef, Literal, NaryAdd, NaryMul, UnaryOp
+from repro.core.jit import alignment, nary, type_inference
+from repro.core.jit.expr_ast import BinaryOp, Literal, NaryAdd, NaryMul, UnaryOp
 from repro.core.jit.parser import parse_expression
 from repro.core.jit.pipeline import JitOptions, compile_expression, optimize
 
@@ -212,3 +211,55 @@ def _walk(expr):
     from repro.core.jit.expr_ast import walk
 
     return walk(expr)
+
+
+class TestExpandPowersPurity:
+    """expand_powers is value-oriented like every other pass (regression:
+    it used to rewrite the caller's tree in place via setattr, forcing
+    compile_expression to defensively re-parse the expression text)."""
+
+    SCHEMA = {"x": DecimalSpec(8, 2), "y": DecimalSpec(8, 2)}
+
+    def test_does_not_mutate_the_input_tree(self):
+        from repro.core.jit.expr_ast import FuncCall
+        from repro.core.jit.pipeline import expand_powers
+
+        tree = parse_expression("POWER(x, 5) + y * POWER(x, 2)")
+        before = tree.to_sql()
+        expanded = expand_powers(tree)
+        assert tree.to_sql() == before
+        assert any(
+            isinstance(node, FuncCall) and node.function == "POWER"
+            for node in _walk(tree)
+        )
+        assert not any(
+            isinstance(node, FuncCall) and node.function == "POWER"
+            for node in _walk(expanded)
+        )
+
+    def test_one_parse_feeds_naive_count_and_optimizer(self):
+        """compile_expression no longer needs per-stage re-parses: compiling
+        twice from the same text yields identical kernels and alignment
+        counts (the optimiser saw an unmutated tree both times)."""
+        first = compile_expression("POWER(x, 4) + y", self.SCHEMA)
+        second = compile_expression("POWER(x, 4) + y", self.SCHEMA)
+        assert first.kernel.source == second.kernel.source
+        assert first.alignments_before == second.alignments_before
+        assert first.alignments_after == second.alignments_after
+
+    def test_optimize_leaves_caller_tree_reusable(self):
+        tree = parse_expression("POWER(x, 3)")
+        type_inference.infer(tree, self.SCHEMA)
+        optimize(tree, self.SCHEMA, JitOptions())
+        # The caller's tree still round-trips: a second optimise over the
+        # same object produces the same result.
+        again = optimize(tree, self.SCHEMA, JitOptions())
+        assert again.to_sql() == optimize(
+            parse_expression("POWER(x, 3)"), self.SCHEMA, JitOptions()
+        ).to_sql()
+
+
+def _walk(expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)

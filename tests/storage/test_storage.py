@@ -7,7 +7,7 @@ from repro.core.decimal.context import DecimalSpec
 from repro.errors import CatalogError, SchemaError
 from repro.storage import Catalog, Column, DecimalType, Relation
 from repro.storage import datagen
-from repro.storage.schema import CharType, DateType, DoubleType, IntType, is_decimal
+from repro.storage.schema import CharType, DateType, DoubleType, IntType
 
 
 class TestColumn:
