@@ -33,6 +33,7 @@ def _build_registry() -> None:
     if _REGISTRY:
         return
     from repro.bench.experiments import (
+        ext_hotpath,
         ext_streaming,
         fig01_motivation,
         fig08_query1,
@@ -132,6 +133,12 @@ def _build_registry() -> None:
         sys.modules.setdefault("conftest", importlib.import_module("repro.bench.harness"))
         spec.loader.exec_module(module)
         return module.run_ablation()
+
+    register(
+        "ext_hotpath",
+        "Extension: batched decimal kernels vs the row-loop reference; "
+        "bit-exact with the largest wins on division at low LEN",
+    )(lambda: ext_hotpath.run(rows=4000))
 
     register(
         "ext_streaming",

@@ -97,5 +97,10 @@ def unpack_column(
         if np.any(padded[:, 4 * spec.words :]):
             raise ConversionError("compact bytes exceed the register array")
         padded = padded[:, : 4 * spec.words]
-    words = np.ascontiguousarray(padded).view("<u4").reshape(rows, spec.words).astype(np.uint32)
+    words = (
+        np.ascontiguousarray(padded)
+        .view("<u4")
+        .reshape(rows, spec.words)
+        .astype(np.uint32, copy=False)
+    )
     return negative, words

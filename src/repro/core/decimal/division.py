@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.decimal import words as w
 from repro.core.decimal.context import WORD_BASE, WORD_BITS, WORD_MASK
 from repro.errors import DivisionByZeroError
@@ -107,6 +109,40 @@ def short_divmod(
         remainder = acc % divisor_word
         stats.iterations += 1
     return quotient, remainder, stats
+
+
+def short_div_columns(
+    words: np.ndarray, divisors: "np.ndarray | int"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Column-wise :func:`short_divmod`: the whole batch at once.
+
+    ``words`` is an ``(N, Lw)`` uint32 magnitude matrix; ``divisors`` a
+    scalar or ``(N,)`` array of single-word (``< 2**32``) divisors, none
+    zero.  Each limb column is one numpy pass of the most-to-least
+    significant ``div`` chain, so the Python cost is O(Lw) regardless of N
+    -- the batch analogue of the paper's one-word-divisor fast path.
+
+    Returns ``(quotient (N, Lw) uint32, remainder (N,) uint64)``.
+    """
+    rows, width = words.shape
+    divisor = np.asarray(divisors, dtype=np.uint64)
+    if divisor.ndim == 0:
+        divisor = np.broadcast_to(divisor, (rows,))
+    if rows and not divisor.all():
+        row = int(np.argmin(divisor != 0))
+        raise DivisionByZeroError(f"division by zero at row {row}")
+    if np.any(divisor >> np.uint64(WORD_BITS)):
+        raise ValueError("short_div_columns requires single-word divisors")
+    quotient = np.zeros((rows, width), dtype=np.uint32)
+    remainder = np.zeros(rows, dtype=np.uint64)
+    shift = np.uint64(WORD_BITS)
+    for limb in range(width - 1, -1, -1):
+        # remainder < divisor < 2**32, so the accumulator fits uint64 and
+        # the per-column quotient fits one word.
+        acc = (remainder << shift) | words[:, limb].astype(np.uint64)
+        quotient[:, limb] = (acc // divisor).astype(np.uint32)
+        remainder = acc % divisor
+    return quotient, remainder
 
 
 def native64_divmod(

@@ -1,0 +1,158 @@
+"""Row-at-a-time reference implementations of the decimal data plane.
+
+These are the pre-vectorisation inner loops of
+:mod:`repro.core.decimal.vectorized`, preserved verbatim (one Python
+iteration per row/limb).  They serve two purposes:
+
+* **bit-exactness oracle** -- the regression tests sweep the vectorized
+  fast paths against these loops across signs, zeros, magnitude extremes
+  and word widths (``Lw`` 1..32);
+* **benchmark baseline** -- ``bench/experiments/ext_hotpath.py`` reports
+  rows/sec of the batched kernels against these loops, which is exactly
+  the before-vs-after of the data-plane vectorisation.
+
+Nothing in the engine calls this module; it must stay row-at-a-time even
+if that is slow, because that *is* the point of keeping it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.decimal import inference
+from repro.core.decimal.context import WORD_BITS, WORD_MASK, DecimalSpec
+from repro.core.decimal.rounding import Rounding, round_unscaled
+from repro.core.decimal.value import DecimalValue
+from repro.core.decimal.vectorized import DecimalVector
+from repro.errors import DivisionByZeroError, PrecisionOverflowError
+
+
+def to_unscaled_rowloop(vector: DecimalVector) -> List[int]:
+    """The original nested row/limb loop behind ``to_unscaled``."""
+    magnitudes = [0] * vector.rows
+    for limb in range(vector.spec.words - 1, -1, -1):
+        column = vector.words[:, limb].tolist()
+        for row in range(vector.rows):
+            magnitudes[row] = (magnitudes[row] << WORD_BITS) | column[row]
+    signs = vector.negative.tolist()
+    return [-m if neg and m else m for m, neg in zip(magnitudes, signs)]
+
+
+def from_unscaled_rowloop(values: Iterable[int], spec: DecimalSpec) -> DecimalVector:
+    """The original per-row limb-split loop behind ``from_unscaled``."""
+    values = list(values)
+    rows = len(values)
+    negative = np.zeros(rows, dtype=bool)
+    words = np.zeros((rows, spec.words), dtype=np.uint32)
+    for row, value in enumerate(values):
+        if not spec.fits(value):
+            raise PrecisionOverflowError(f"{value} does not fit {spec}")
+        negative[row] = value < 0
+        magnitude = abs(value)
+        for limb in range(spec.words):
+            words[row, limb] = magnitude & WORD_MASK
+            magnitude >>= WORD_BITS
+    return DecimalVector(spec, negative, words)
+
+
+def from_unscaled_container_rowloop(
+    values: Iterable[int], spec: DecimalSpec
+) -> DecimalVector:
+    """The original wrapping constructor (``from_unscaled_container``)."""
+    values = list(values)
+    container = 1 << (WORD_BITS * spec.words)
+    wrapped = [abs(v) % container * (-1 if v < 0 else 1) for v in values]
+    rows = len(wrapped)
+    negative = np.zeros(rows, dtype=bool)
+    words = np.zeros((rows, spec.words), dtype=np.uint32)
+    for row, value in enumerate(wrapped):
+        negative[row] = value < 0
+        magnitude = abs(value)
+        for limb in range(spec.words):
+            words[row, limb] = magnitude & WORD_MASK
+            magnitude >>= WORD_BITS
+    return DecimalVector(spec, negative, words)
+
+
+def div_rowloop(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """The original per-row big-integer division kernel."""
+    spec = inference.div_result(a.spec, b.spec)
+    prescale = inference.div_prescale(b.spec)
+    factor = 10**prescale
+    dividends = to_unscaled_rowloop(a)
+    divisors = to_unscaled_rowloop(b)
+    quotients = []
+    for dividend, divisor in zip(dividends, divisors):
+        if divisor == 0:
+            raise DivisionByZeroError("decimal division by zero")
+        scaled = abs(dividend) * factor
+        quotient = scaled // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            quotient = -quotient
+        quotients.append(quotient)
+    return from_unscaled_container_rowloop(quotients, spec)
+
+
+def mod_rowloop(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """The original per-row modulo kernel (sign follows the dividend)."""
+    spec = inference.mod_result(a.spec, b.spec)
+    remainders = []
+    for dividend, divisor in zip(to_unscaled_rowloop(a), to_unscaled_rowloop(b)):
+        if divisor == 0:
+            raise DivisionByZeroError("decimal modulo by zero")
+        remainder = abs(dividend) % abs(divisor)
+        remainders.append(-remainder if dividend < 0 else remainder)
+    return from_unscaled_rowloop(remainders, spec)
+
+
+def rescale_down_rowloop(vector: DecimalVector, scale: int) -> DecimalVector:
+    """The original downward rescale (truncating divide per row)."""
+    drop = vector.spec.scale - scale
+    if drop <= 0:
+        raise ValueError("rescale_down_rowloop requires a smaller target scale")
+    spec = DecimalSpec(max(vector.spec.precision - drop, 1), scale)
+    unscaled = [
+        value // 10**drop if value >= 0 else -((-value) // 10**drop)
+        for value in to_unscaled_rowloop(vector)
+    ]
+    return from_unscaled_rowloop(unscaled, spec)
+
+
+def rescale_with_mode_rowloop(
+    a: DecimalVector, spec: DecimalSpec, mode: str
+) -> DecimalVector:
+    """The original per-row ROUND/TRUNC/CEIL/FLOOR rescale."""
+    modes = {
+        "trunc": Rounding.DOWN,
+        "round": Rounding.HALF_UP,
+        "ceil": Rounding.CEILING,
+        "floor": Rounding.FLOOR,
+    }
+    rounding = modes[mode]
+    drop = a.spec.scale - spec.scale
+    if drop < 0:
+        return a.rescale(spec.scale).with_spec(spec)
+    values = [round_unscaled(u, drop, rounding) for u in to_unscaled_rowloop(a)]
+    return from_unscaled_container_rowloop(values, spec)
+
+
+def add_rowloop(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Row-at-a-time signed addition through the scalar value type."""
+    spec = inference.add_result(a.spec, b.spec)
+    values = [
+        (DecimalValue.from_unscaled(x, a.spec) + DecimalValue.from_unscaled(y, b.spec)).unscaled
+        for x, y in zip(to_unscaled_rowloop(a), to_unscaled_rowloop(b))
+    ]
+    return from_unscaled_rowloop(values, spec)
+
+
+def mul_rowloop(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+    """Row-at-a-time signed multiplication through the scalar value type."""
+    spec = inference.mul_result(a.spec, b.spec)
+    values = [
+        (DecimalValue.from_unscaled(x, a.spec) * DecimalValue.from_unscaled(y, b.spec)).unscaled
+        for x, y in zip(to_unscaled_rowloop(a), to_unscaled_rowloop(b))
+    ]
+    return from_unscaled_rowloop(values, spec)

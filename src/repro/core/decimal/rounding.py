@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from enum import Enum
 
+import numpy as np
+
 from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.value import DecimalValue
 from repro.errors import PrecisionOverflowError
@@ -57,6 +59,41 @@ def round_unscaled(unscaled: int, drop_digits: int, mode: Rounding) -> int:
 
     magnitude = quotient + bump
     return -magnitude if negative else magnitude
+
+
+def round_bump_column(
+    remainder: np.ndarray,
+    base: int,
+    negative: np.ndarray,
+    quotient_odd: np.ndarray,
+    mode: Rounding,
+) -> np.ndarray:
+    """Column-wise bump mask: which rows round their quotient up by one.
+
+    The batch analogue of :func:`round_unscaled`'s per-value bump decision:
+    ``remainder`` is the ``(N,)`` uint64 magnitude remainder of dividing by
+    ``base = 10**drop`` (``base`` must fit uint64), ``negative`` the sign
+    plane, ``quotient_odd`` the parity of the truncated quotient (only read
+    for HALF_EVEN ties).  Returns an ``(N,)`` bool mask.
+    """
+    remainder = np.asarray(remainder, dtype=np.uint64)
+    if mode is Rounding.DOWN:
+        return np.zeros(remainder.shape, dtype=bool)
+    if mode in (Rounding.HALF_UP, Rounding.HALF_EVEN):
+        # 2*remainder can reach 2**33 for drop=9; widen before doubling.
+        doubled = remainder.astype(object) * 2 if base > (1 << 63) else remainder * np.uint64(2)
+        if mode is Rounding.HALF_UP:
+            return np.asarray(doubled >= base, dtype=bool)
+        return np.asarray(
+            (doubled > base) | ((doubled == base) & np.asarray(quotient_odd, bool)),
+            dtype=bool,
+        )
+    nonzero = remainder != 0
+    if mode is Rounding.CEILING:
+        return nonzero & ~np.asarray(negative, bool)
+    if mode is Rounding.FLOOR:
+        return nonzero & np.asarray(negative, bool)
+    raise ValueError(f"unknown rounding mode {mode!r}")  # pragma: no cover
 
 
 def rescale(

@@ -7,6 +7,14 @@ matrices -- each numpy lane corresponds to one GPU thread, and the limb
 loops below are exactly the per-thread carry chains of Listing 2, executed
 for all tuples at once.
 
+Every kernel here is batch-level: the Python cost is O(Lw) column
+operations, never O(N) row loops.  Division, modulo and downward rescaling
+mirror the size-specialised fast paths of ``repro.core.decimal.division``
+column-wise (whole-column uint64 ``div`` when both operands fit two words,
+vectorised short division for single-word divisors) and only the residual
+wide rows fall back to per-row big integers.  The preserved row-at-a-time
+loops live in ``repro.core.decimal.reference`` as the bit-exactness oracle.
+
 The cost/time of a kernel is *not* measured here; the GPU simulator derives
 it from instruction counts (see ``repro.gpusim``).  This module only
 guarantees bit-exact results.
@@ -15,22 +23,35 @@ guarantees bit-exact results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.decimal import compact, inference
+from repro.core.decimal import compact, division, inference
 from repro.core.decimal import words as w
-from repro.core.decimal.context import WORD_BITS, WORD_MASK, DecimalSpec
+from repro.core.decimal.context import WORD_BASE, WORD_BITS, WORD_MASK, DecimalSpec
 from repro.errors import DivisionByZeroError, PrecisionOverflowError
 
 _MASK64 = np.uint64(WORD_MASK)
 _SHIFT64 = np.uint64(WORD_BITS)
 
+#: Largest value a uint64 lane can hold (both operands of the whole-column
+#: native ``div`` fast path must stay below this).
+_UINT64_MAX = (1 << 64) - 1
+
 
 @dataclass
 class DecimalVector:
-    """A column of ``DECIMAL(p, s)`` values in register (expanded) form."""
+    """A column of ``DECIMAL(p, s)`` values in register (expanded) form.
+
+    **Aliasing contract:** the ``negative``/``words`` planes are treated as
+    immutable once a vector is constructed.  Kernels that do not change a
+    plane are free to *share* it with their result (``neg``/``absolute``
+    share ``words``; ``rescale`` to the same scale returns ``self``), and
+    :meth:`repro.storage.column.Column.decimal_vector` hands out one cached
+    expansion to every caller.  Never write into a vector's planes in
+    place -- build new arrays (or :meth:`copy` first).
+    """
 
     spec: DecimalSpec
     negative: np.ndarray  # (N,) bool
@@ -40,19 +61,8 @@ class DecimalVector:
 
     @classmethod
     def from_unscaled(cls, values: Iterable[int], spec: DecimalSpec) -> "DecimalVector":
-        """Build from signed unscaled Python ints."""
-        values = list(values)
-        rows = len(values)
-        negative = np.zeros(rows, dtype=bool)
-        words = np.zeros((rows, spec.words), dtype=np.uint32)
-        for row, value in enumerate(values):
-            if not spec.fits(value):
-                raise PrecisionOverflowError(f"{value} does not fit {spec}")
-            negative[row] = value < 0
-            magnitude = abs(value)
-            for limb in range(spec.words):
-                words[row, limb] = magnitude & WORD_MASK
-                magnitude >>= WORD_BITS
+        """Build from signed unscaled Python ints (batched limb split)."""
+        negative, words = _ints_to_planes(values, spec, wrap=False)
         return cls(spec, negative, words)
 
     @classmethod
@@ -65,18 +75,7 @@ class DecimalVector:
         silently truncates (mod ``2**(32*Lw)``).  This constructor mirrors
         that hardware behaviour.
         """
-        values = list(values)
-        container = 1 << (WORD_BITS * spec.words)
-        wrapped = [abs(v) % container * (-1 if v < 0 else 1) for v in values]
-        rows = len(wrapped)
-        negative = np.zeros(rows, dtype=bool)
-        words = np.zeros((rows, spec.words), dtype=np.uint32)
-        for row, value in enumerate(wrapped):
-            negative[row] = value < 0
-            magnitude = abs(value)
-            for limb in range(spec.words):
-                words[row, limb] = magnitude & WORD_MASK
-                magnitude >>= WORD_BITS
+        negative, words = _ints_to_planes(values, spec, wrap=True)
         return cls(spec, negative, words)
 
     @classmethod
@@ -104,21 +103,35 @@ class DecimalVector:
         return self.words.shape[0]
 
     def to_unscaled(self) -> List[int]:
-        """Signed unscaled Python ints (the verification oracle interface)."""
-        magnitudes = [0] * self.rows
-        for limb in range(self.spec.words - 1, -1, -1):
-            column = self.words[:, limb].tolist()
-            for row in range(self.rows):
-                magnitudes[row] = (magnitudes[row] << WORD_BITS) | column[row]
-        signs = self.negative.tolist()
-        return [-m if neg and m else m for m, neg in zip(magnitudes, signs)]
+        """Signed unscaled Python ints (the verification oracle interface).
+
+        Batched: the ``(N, Lw)`` word matrix folds to Python ints in O(Lw)
+        column operations rather than a nested per-row limb loop.  Values
+        that fit int64 (always for ``Lw <= 2`` unless bit 63 is in use)
+        never touch Python-level arithmetic at all: fold, negate and
+        ``tolist`` all run in C.
+        """
+        rows, width = self.words.shape
+        if rows == 0:
+            return []
+        if width <= 2 and not (width == 2 and (self.words[:, 1] >> 31).any()):
+            acc = self.words[:, 0].astype(np.uint64)
+            if width == 2:
+                acc |= self.words[:, 1].astype(np.uint64) << _SHIFT64
+            signed = acc.astype(np.int64)
+            np.negative(signed, where=self.negative, out=signed)
+            return signed.tolist()
+        values = _planes_to_magnitudes(self.words)
+        for row in np.nonzero(self.negative)[0].tolist():
+            values[row] = -values[row]
+        return values
 
     def to_compact(self) -> np.ndarray:
         """Pack to the compact ``(N, Lb)`` form (the kernel store phase)."""
         return compact.pack_column(self.negative, self.words, self.spec)
 
     def copy(self) -> "DecimalVector":
-        """Deep copy."""
+        """Deep copy (the one way to get privately writable planes)."""
         return DecimalVector(self.spec, self.negative.copy(), self.words.copy())
 
     # --------------------------------------------------------------- rescale
@@ -132,11 +145,14 @@ class DecimalVector:
             spec = DecimalSpec(self.spec.precision + extra, scale)
             words = _mul_pow10(self.words, extra, spec.words)
             return DecimalVector(spec, self.negative.copy(), words)
-        # Downward alignment divides by a power of ten (rare: AVG results).
+        # Downward alignment divides by a power of ten (rare: AVG results),
+        # vectorised as staged single-word short division over the limb
+        # columns; the truncated quotient always fits the narrower spec.
         drop = self.spec.scale - scale
         spec = DecimalSpec(max(self.spec.precision - drop, 1), scale)
-        unscaled = [value // 10**drop if value >= 0 else -((-value) // 10**drop) for value in self.to_unscaled()]
-        return DecimalVector.from_unscaled(unscaled, spec)
+        quotient = _div_pow10_columns(self.words, drop)
+        out = np.ascontiguousarray(quotient[:, : spec.words])
+        return DecimalVector(spec, self.negative & out.any(axis=1), out)
 
     def with_spec(self, spec: DecimalSpec) -> "DecimalVector":
         """Re-declare at ``spec`` (pads/truncates the word matrix)."""
@@ -163,9 +179,14 @@ def sub(a: DecimalVector, b: DecimalVector) -> DecimalVector:
 
 
 def neg(a: DecimalVector) -> DecimalVector:
-    """Columnwise negation."""
+    """Columnwise negation.
+
+    The magnitude plane is unchanged, so the result *shares* ``a.words``
+    (see the :class:`DecimalVector` aliasing contract) -- only the sign
+    plane is rebuilt.
+    """
     nonzero = a.words.any(axis=1)
-    return DecimalVector(a.spec, np.where(nonzero, ~a.negative, False), a.words.copy())
+    return DecimalVector(a.spec, np.where(nonzero, ~a.negative, False), a.words)
 
 
 def mul(a: DecimalVector, b: DecimalVector) -> DecimalVector:
@@ -180,52 +201,138 @@ def mul(a: DecimalVector, b: DecimalVector) -> DecimalVector:
 def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
     """Columnwise signed division following the section III-B3 rules.
 
-    The per-row quotients are computed exactly (dividend pre-scaled by
-    ``10**(s2+4)``, truncating divide).  The scalar division *algorithms*
-    (binary search / Newton-Raphson / Goldschmidt) live in
-    ``repro.core.decimal.division`` and are what the timing model charges
-    for; the data plane here uses the mathematically identical big-integer
-    route so that wide columns stay tractable in pure Python.
+    The per-row quotients are exact (dividend pre-scaled by ``10**(s2+4)``,
+    truncating divide) and the column is carved into the same size classes
+    the scalar dispatch of ``repro.core.decimal.division`` uses, largest
+    batch first:
+
+    * **native64**: rows where the pre-scaled dividend and the divisor both
+      fit uint64 divide in one whole-column numpy ``//``;
+    * **short**: rows whose divisor fits a single word run the vectorised
+      most-to-least-significant short division over the limb columns of the
+      pre-scaled dividend;
+    * **bigint**: the residual wide rows fall back to per-row Python
+      integers (the mathematically identical route the old row loop took
+      for every row).
+
+    Zero divisors are rejected up front by a vectorised pre-check that
+    names the first offending row.
     """
     spec = inference.div_result(a.spec, b.spec)
     prescale = inference.div_prescale(b.spec)
     factor = 10**prescale
-    dividends = a.to_unscaled()
-    divisors = b.to_unscaled()
-    quotients = []
-    for dividend, divisor in zip(dividends, divisors):
-        if divisor == 0:
-            raise DivisionByZeroError("decimal division by zero")
-        scaled = abs(dividend) * factor
-        quotient = scaled // abs(divisor)
-        if (dividend < 0) != (divisor < 0):
-            quotient = -quotient
-        quotients.append(quotient)
-    return DecimalVector.from_unscaled_container(quotients, spec)
+    _require_nonzero_divisors(b.words, "division")
+    rows = a.rows
+    out = np.zeros((rows, spec.words), dtype=np.uint32)
+
+    a_fits, a64 = _fold_uint64(a.words)
+    b_fits, b64 = _fold_uint64(b.words)
+
+    # Fast path 1: whole-column uint64 divide (a * factor stays in uint64).
+    native = a_fits & b_fits
+    threshold = _UINT64_MAX // factor
+    if threshold:
+        native &= a64 <= np.uint64(threshold)
+    else:  # the prescale factor alone exceeds uint64
+        native = np.zeros(rows, dtype=bool)
+    if native.any():
+        quotient = (a64[native] * np.uint64(factor)) // b64[native]
+        _scatter_uint64(out, native, quotient)
+
+    remaining = ~native
+    # Fast path 2: single-word divisors -> vectorised short division over
+    # the limb columns of the wide pre-scaled dividend.
+    short = remaining & b_fits & (b64 < np.uint64(WORD_BASE))
+    if short.any():
+        index = np.nonzero(short)[0]
+        factor_words = np.asarray(
+            w.from_int(factor, w.pow10_words_needed(prescale)), dtype=np.uint32
+        )
+        wide = a.words.shape[1] + factor_words.shape[0]
+        scaled = _mul_magnitudes(
+            a.words[index], np.tile(factor_words, (index.size, 1)), wide
+        )
+        quotient_planes, _ = division.short_div_columns(scaled, b64[index])
+        shared = min(wide, spec.words)
+        out[index, :shared] = quotient_planes[:, :shared]
+
+    # Residual wide rows: exact big-integer route (wraps into the container
+    # exactly as ``from_unscaled_container`` would).
+    bigint = remaining & ~short
+    if bigint.any():
+        index = np.nonzero(bigint)[0]
+        dividends = _planes_to_magnitudes(a.words[index])
+        divisors = _planes_to_magnitudes(b.words[index])
+        container_mask = (1 << (WORD_BITS * spec.words)) - 1
+        quotients = [
+            (dividend * factor // divisor) & container_mask
+            for dividend, divisor in zip(dividends, divisors)
+        ]
+        out[index] = _magnitudes_to_planes(quotients, spec.words)
+
+    negative = (a.negative != b.negative) & out.any(axis=1)
+    return DecimalVector(spec, negative, out)
 
 
 def mod(a: DecimalVector, b: DecimalVector) -> DecimalVector:
-    """Columnwise integer modulo (sign follows the dividend, as in C)."""
+    """Columnwise integer modulo (sign follows the dividend, as in C).
+
+    Size-classed like :func:`div`: uint64 rows take a whole-column numpy
+    ``%``, single-word divisors take the vectorised short division's
+    remainder, and only residual wide rows loop in Python.  The vectorised
+    zero-divisor pre-check names the first offending row.
+    """
     spec = inference.mod_result(a.spec, b.spec)
-    remainders = []
-    for dividend, divisor in zip(a.to_unscaled(), b.to_unscaled()):
-        if divisor == 0:
-            raise DivisionByZeroError("decimal modulo by zero")
-        remainder = abs(dividend) % abs(divisor)
-        remainders.append(-remainder if dividend < 0 else remainder)
-    return DecimalVector.from_unscaled(remainders, spec)
+    _require_nonzero_divisors(b.words, "modulo")
+    rows = a.rows
+    out = np.zeros((rows, spec.words), dtype=np.uint32)
+
+    a_fits, a64 = _fold_uint64(a.words)
+    b_fits, b64 = _fold_uint64(b.words)
+
+    native = a_fits & b_fits
+    if native.any():
+        _scatter_uint64(out, native, a64[native] % b64[native])
+
+    remaining = ~native
+    short = remaining & b_fits & (b64 < np.uint64(WORD_BASE))
+    if short.any():
+        index = np.nonzero(short)[0]
+        _, remainder = division.short_div_columns(a.words[index], b64[index])
+        _scatter_uint64(out, short, remainder)
+
+    bigint = remaining & ~short
+    if bigint.any():
+        index = np.nonzero(bigint)[0]
+        remainders = [
+            dividend % divisor
+            for dividend, divisor in zip(
+                _planes_to_magnitudes(a.words[index]),
+                _planes_to_magnitudes(b.words[index]),
+            )
+        ]
+        out[index] = _magnitudes_to_planes(remainders, spec.words)
+
+    negative = a.negative & out.any(axis=1)
+    return DecimalVector(spec, negative, out)
 
 
 def absolute(a: DecimalVector) -> DecimalVector:
-    """Columnwise absolute value (clears the sign plane)."""
-    return DecimalVector(a.spec, np.zeros(a.rows, dtype=bool), a.words.copy())
+    """Columnwise absolute value (clears the sign plane).
+
+    Shares ``a.words`` read-only (see the aliasing contract); only the
+    sign plane is replaced.
+    """
+    return DecimalVector(a.spec, np.zeros(a.rows, dtype=bool), a.words)
 
 
 def sign(a: DecimalVector) -> DecimalVector:
     """Columnwise three-way sign as DECIMAL(1, 0)."""
+    spec = DecimalSpec(1, 0)
     nonzero = a.words.any(axis=1)
-    values = np.where(nonzero, np.where(a.negative, -1, 1), 0)
-    return DecimalVector.from_unscaled([int(v) for v in values], DecimalSpec(1, 0))
+    words = np.zeros((a.rows, spec.words), dtype=np.uint32)
+    words[:, 0] = nonzero.astype(np.uint32)
+    return DecimalVector(spec, a.negative & nonzero, words)
 
 
 def rescale_with_mode(a: DecimalVector, spec: DecimalSpec, mode: str) -> DecimalVector:
@@ -233,9 +340,11 @@ def rescale_with_mode(a: DecimalVector, spec: DecimalSpec, mode: str) -> Decimal
 
     Rounding modes follow ``repro.core.decimal.rounding``: ``round`` is
     half-up (SQL ROUND), ``trunc`` toward zero, ``ceil``/``floor`` toward
-    +/- infinity.
+    +/- infinity.  Dropping up to nine digits (every SQL-surface case)
+    runs fully vectorised: one short division over the limb columns, a
+    column-wise bump mask, and a carry-propagated increment.
     """
-    from repro.core.decimal.rounding import Rounding, round_unscaled
+    from repro.core.decimal.rounding import Rounding, round_bump_column, round_unscaled
 
     modes = {
         "trunc": Rounding.DOWN,
@@ -250,8 +359,24 @@ def rescale_with_mode(a: DecimalVector, spec: DecimalSpec, mode: str) -> Decimal
     drop = a.spec.scale - spec.scale
     if drop < 0:
         return a.rescale(spec.scale).with_spec(spec)
+    if drop == 0:
+        negative, words = _wrap_planes(a.negative, a.words, spec.words)
+        return DecimalVector(spec, negative, words)
+    if drop <= 9:  # 10**drop fits one word: fully vectorised
+        base = 10**drop
+        quotient, remainder = division.short_div_columns(a.words, base)
+        bump = round_bump_column(
+            remainder, base, a.negative, (quotient[:, 0] & 1).astype(bool), rounding
+        )
+        if bump.any():
+            _increment_where(quotient, bump)
+        negative, words = _wrap_planes(a.negative, quotient, spec.words)
+        return DecimalVector(spec, negative, words)
+    # Very large scale drops (>9 digits at once) stay on the batched
+    # big-integer route.
     values = [round_unscaled(u, drop, rounding) for u in a.to_unscaled()]
-    return DecimalVector.from_unscaled_container(values, spec)
+    negative, words = _ints_to_planes(values, spec, wrap=True)
+    return DecimalVector(spec, negative, words)
 
 
 def compare(a: DecimalVector, b: DecimalVector) -> np.ndarray:
@@ -271,6 +396,163 @@ def compare(a: DecimalVector, b: DecimalVector) -> np.ndarray:
     flip = np.where(sign_a < 0, -1, 1).astype(np.int8)
     out[same_sign] = (mag[same_sign] * flip[same_sign]).astype(np.int8)
     return out
+
+
+# ---------------------------------------------------------- int round-trips
+
+
+def _planes_to_magnitudes(words: np.ndarray) -> List[int]:
+    """Fold an ``(N, Lw)`` word matrix into unsigned Python ints.
+
+    Three size-specialised routes, all O(Lw) Python statements:
+
+    * ``Lw <= 2``: pure numpy uint64 fold + ``tolist``;
+    * ``Lw <= 16``: object-dtype accumulator over the uint64 limb *pairs*
+      (each column step is one C-driven pass of big-int multiply-add);
+    * wider: one contiguous little-endian byte view, one C-implemented
+      ``int.from_bytes`` per row -- cheaper than ``Lw/2`` accumulator
+      passes once rows are this wide.
+    """
+    rows, width = words.shape
+    if rows == 0:
+        return []
+    if width <= 2:
+        acc = words[:, 0].astype(np.uint64)
+        if width == 2:
+            acc |= words[:, 1].astype(np.uint64) << _SHIFT64
+        return acc.tolist()
+    if width <= 16:
+        if width % 2:
+            words = _pad(words, width + 1)
+        pairs = np.ascontiguousarray(words.astype("<u4", copy=False)).view("<u8")
+        acc = pairs[:, -1].astype(object)
+        base = 1 << 64
+        for column in range(pairs.shape[1] - 2, -1, -1):
+            acc = acc * base + pairs[:, column].astype(object)
+        return acc.tolist()
+    data = np.ascontiguousarray(words.astype("<u4", copy=False)).tobytes()
+    stride = 4 * width
+    return [
+        int.from_bytes(data[offset : offset + stride], "little")
+        for offset in range(0, rows * stride, stride)
+    ]
+
+
+def _magnitudes_to_planes(magnitudes: Sequence[int], width: int) -> np.ndarray:
+    """Split unsigned ints (< ``2**(32*width)``) into an ``(N, width)`` matrix."""
+    rows = len(magnitudes)
+    if rows == 0:
+        return np.zeros((0, width), dtype=np.uint32)
+    if width <= 2:
+        acc = np.array([int(m) for m in magnitudes], dtype=np.uint64)
+        words = np.zeros((rows, width), dtype=np.uint32)
+        words[:, 0] = (acc & _MASK64).astype(np.uint32)
+        if width == 2:
+            words[:, 1] = (acc >> _SHIFT64).astype(np.uint32)
+        return words
+    stride = 4 * width
+    buffer = b"".join(int(m).to_bytes(stride, "little") for m in magnitudes)
+    return np.frombuffer(buffer, dtype="<u4").reshape(rows, width).astype(np.uint32)
+
+
+def _ints_to_planes(
+    values: Iterable[int], spec: DecimalSpec, wrap: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Signed unscaled ints -> ``(negative, words)`` planes, batched.
+
+    With ``wrap`` the magnitudes truncate mod ``2**(32*Lw)`` (container
+    semantics); otherwise the first value that does not fit ``spec``
+    raises, exactly like the old per-row constructor.
+    """
+    values = list(values)
+    rows = len(values)
+    negative = np.fromiter((v < 0 for v in values), dtype=bool, count=rows)
+    magnitudes = [-v if v < 0 else v for v in values]
+    if wrap:
+        container_mask = (1 << (WORD_BITS * spec.words)) - 1
+        magnitudes = [int(m) & container_mask for m in magnitudes]
+    elif rows and max(magnitudes) > spec.max_unscaled:
+        limit = spec.max_unscaled
+        row = next(i for i, m in enumerate(magnitudes) if m > limit)
+        raise PrecisionOverflowError(f"{values[row]} does not fit {spec}")
+    words = _magnitudes_to_planes(magnitudes, spec.words)
+    if wrap:
+        negative &= words.any(axis=1)
+    return negative, words
+
+
+def _fold_uint64(words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row uint64 view of the low two limbs + a mask of rows that fit."""
+    rows, width = words.shape
+    if width == 1:
+        return np.ones(rows, dtype=bool), words[:, 0].astype(np.uint64)
+    fits = ~words[:, 2:].any(axis=1) if width > 2 else np.ones(rows, dtype=bool)
+    values = words[:, 0].astype(np.uint64) | (words[:, 1].astype(np.uint64) << _SHIFT64)
+    return fits, values
+
+
+def _scatter_uint64(out: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+    """Write uint64 results into the first <=2 limbs of the masked rows.
+
+    A one-word destination truncates (container wrap), exactly like the
+    fixed register array of a generated kernel.
+    """
+    out[mask, 0] = (values & _MASK64).astype(np.uint32)
+    if out.shape[1] >= 2:
+        out[mask, 1] = (values >> _SHIFT64).astype(np.uint32)
+
+
+def _wrap_planes(
+    negative: np.ndarray, words: np.ndarray, width: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Truncate/pad magnitude columns into ``width`` words (container wrap)."""
+    rows = words.shape[0]
+    out = np.zeros((rows, width), dtype=np.uint32)
+    shared = min(width, words.shape[1])
+    out[:, :shared] = words[:, :shared]
+    return negative & out.any(axis=1), out
+
+
+def _require_nonzero_divisors(words: np.ndarray, operation: str) -> None:
+    """Vectorised divisor==0 pre-check naming the first offending row."""
+    zero = ~words.any(axis=1)
+    if zero.any():
+        row = int(np.argmax(zero))
+        raise DivisionByZeroError(f"decimal {operation} by zero at row {row}")
+
+
+def _div_pow10_columns(words: np.ndarray, exponent: int) -> np.ndarray:
+    """Truncating columnwise divide by ``10**exponent`` (staged short divs).
+
+    Each stage divides by a single-word power of ten; truncating division
+    composes across stages (``(x // a) // b == x // (a*b)``), so any
+    exponent reduces to at most ``ceil(exponent / 9)`` vectorised passes.
+    """
+    out = words
+    remaining = exponent
+    while remaining > 0:
+        step = min(remaining, 9)
+        out, _ = division.short_div_columns(out, 10**step)
+        remaining -= step
+    return out
+
+
+def _increment_where(words: np.ndarray, mask: np.ndarray) -> None:
+    """Add 1 (with carry propagation) to the masked rows, in place.
+
+    Only called on freshly built quotient matrices; the rounding bump can
+    never carry out of the original operand's width because the bumped
+    quotient is bounded by the pre-division magnitude.
+    """
+    carry = mask.astype(np.uint64)
+    for limb in range(words.shape[1]):
+        if not carry.any():
+            return
+        total = words[:, limb].astype(np.uint64) + carry
+        words[:, limb] = (total & _MASK64).astype(np.uint32)
+        carry = total >> _SHIFT64
+    if carry.any():  # pragma: no cover - see docstring
+        raise PrecisionOverflowError("rounding bump overflowed the register array")
 
 
 # -------------------------------------------------------------- limb planes

@@ -25,6 +25,7 @@ from repro.engine.plan.physical import (
     SortOp,
 )
 from repro.engine.sql.ast_nodes import AggregateCall, Query
+from repro.gpusim import profiler as gpu_profiler
 from repro.gpusim import timing as gpu_timing
 from repro.gpusim.device import GpuDevice
 from repro.gpusim.streaming import StreamingConfig, stream_timing
@@ -48,6 +49,11 @@ class KernelPlan:
     chunks: int = 1
     serial_ms: Optional[float] = None
     pipelined_ms: Optional[float] = None
+    #: Measured data-plane wall clock (set by ``explain(...,
+    #: measure_data_plane=True)``): the real numpy cost of one run over the
+    #: stored rows, as opposed to ``estimated_ms`` which is simulated.
+    data_plane_ms: Optional[float] = None
+    data_plane_rows_per_s: Optional[float] = None
 
     @property
     def overlap_speedup(self) -> Optional[float]:
@@ -88,6 +94,11 @@ class ExplainResult:
                         f"pipelined {kernel.pipelined_ms:.2f} ms "
                         f"({speedup:.2f}x overlap)"
                     )
+                if kernel.data_plane_ms is not None:
+                    lines.append(
+                        f"      data plane (measured): {kernel.data_plane_ms:.2f} ms "
+                        f"({kernel.data_plane_rows_per_s:,.0f} rows/s)"
+                    )
                 if with_source:
                     lines.append("      " + kernel.source.replace("\n", "\n      "))
         lines.append(f"  estimated compile: {self.estimated_compile_ms:.0f} ms")
@@ -104,8 +115,15 @@ def explain_query(
     device: GpuDevice,
     joined=None,
     streaming: Optional[StreamingConfig] = None,
+    measure_data_plane: bool = False,
 ) -> ExplainResult:
-    """Build an ExplainResult from a planned query."""
+    """Build an ExplainResult from a planned query.
+
+    With ``measure_data_plane`` each compiled kernel is additionally run
+    once over the relation's real stored columns and its wall-clock
+    (``KernelPlan.data_plane_ms``) recorded -- the measured counterpart of
+    the simulated ``estimated_ms``.
+    """
     from repro.core.jit.pipeline import compile_expression
 
     schema = relation.decimal_schema()
@@ -153,6 +171,25 @@ def explain_query(
             plan.chunks = timing.chunks
             plan.serial_ms = timing.serial_seconds * 1e3
             plan.pipelined_ms = timing.pipelined_seconds * 1e3
+        if measure_data_plane:
+            inputs = {}
+            for column in compiled.kernel.input_columns:
+                source = relation
+                for joined_relation in (joined or {}).values():
+                    if column in joined_relation.column_names():
+                        source = joined_relation
+                        break
+                inputs[column] = source.column(column).data
+            lengths = {data.shape[0] for data in inputs.values()}
+            if len(lengths) <= 1:  # join-mixed inputs can't run standalone
+                measured = gpu_profiler.measure_data_plane(
+                    compiled.kernel,
+                    inputs,
+                    lengths.pop() if lengths else relation.rows,
+                    device=device,
+                )
+                plan.data_plane_ms = measured.seconds * 1e3
+                plan.data_plane_rows_per_s = measured.rows_per_second
         kernels.append(plan)
 
     for op in chain:

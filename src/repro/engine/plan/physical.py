@@ -9,6 +9,7 @@ executor threads a :class:`Batch` through the chain.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -49,6 +50,10 @@ class KernelExecution:
     kernel_seconds_per_chunk: float
     serial_seconds: float
     pipelined_seconds: float
+    #: Measured wall-clock of the kernel's *data plane* (the numpy limb
+    #: arithmetic actually run in this process), as opposed to the simulated
+    #: GPU seconds above which come from instruction counts.
+    data_plane_seconds: float = 0.0
 
     @property
     def overlap_speedup(self) -> float:
@@ -75,6 +80,11 @@ class ExecutionReport:
     kernels_compiled: int = 0
     kernels_cached: int = 0
     simulated_rows: int = 0
+    #: Measured wall-clock spent in the data plane (register expansion,
+    #: numpy limb kernels, oracle conversions for aggregation).  *Not* part
+    #: of :attr:`total_seconds` -- the simulated times come from the timing
+    #: model; this is the real cost of producing the bit-exact results.
+    data_plane_seconds: float = 0.0
     #: One record per JIT-kernel launch, in execution order.  Streamed
     #: entries carry the chunk count and the pipelined-vs-serial split.
     kernel_executions: List[KernelExecution] = field(default_factory=list)
@@ -342,8 +352,11 @@ class AggregateOp(PhysicalOp):
             vector = _evaluate_expression(
                 call.argument, batch, context, kernel_name=f"agg_expr_{index}"
             )
+            started = time.perf_counter()
+            unscaled = vector.to_unscaled()
+            context.report.data_plane_seconds += time.perf_counter() - started
             run = mt_aggregation.aggregate(
-                vector.to_unscaled(),
+                unscaled,
                 vector.spec,
                 op=call.function.lower(),
                 tpi=context.tpi,
@@ -407,7 +420,9 @@ class GroupAggregateOp(PhysicalOp):
                 vector = _evaluate_expression(
                     call.argument, batch, context, kernel_name=f"agg_expr_{index}"
                 )
+                started = time.perf_counter()
                 vectors[index] = (vector.to_unscaled(), vector.spec)
+                context.report.data_plane_seconds += time.perf_counter() - started
                 # Payload gather: every (4*Lw+1)-byte value moves into its
                 # group segment before the blockwise reduction.
                 value_bytes = 4 * vector.spec.words + 1
@@ -524,7 +539,10 @@ def _evaluate_expression(
     ):
         # No kernel to overlap with: a deferred transfer ships serially.
         _flush_pending_transfer(context, [bare])
-        return batch.columns[bare].decimal_vector()
+        started = time.perf_counter()
+        vector = batch.columns[bare].decimal_vector()
+        context.report.data_plane_seconds += time.perf_counter() - started
+        return vector
     schema = {
         name: column.column_type.spec
         for name, column in batch.columns.items()
@@ -550,10 +568,13 @@ def _evaluate_expression(
     sim = max(int(round(batch.simulated_rows)), 1)
     if context.streaming.enabled:
         return _execute_streamed_kernel(compiled.kernel, inputs, batch, sim, context)
+    started = time.perf_counter()
     run = gpu_executor.execute(
         compiled.kernel, inputs, batch.rows, device=context.device, simulate_tuples=sim
     )
+    elapsed = time.perf_counter() - started
     context.report.kernel_seconds += run.timing.seconds
+    context.report.data_plane_seconds += elapsed
     context.report.kernel_executions.append(
         KernelExecution(
             name=compiled.kernel.name,
@@ -564,6 +585,7 @@ def _evaluate_expression(
             kernel_seconds_per_chunk=run.timing.seconds,
             serial_seconds=run.timing.seconds,
             pipelined_seconds=run.timing.seconds,
+            data_plane_seconds=elapsed,
         )
     )
     return run.result
@@ -585,6 +607,7 @@ def _execute_streamed_kernel(
         for column in kernel.input_columns:
             transfer_bytes += context.pending_transfer.pop(column, 0.0)
     chunk_rows = context.streaming.resolve_chunk_rows(kernel, context.device, sim)
+    started = time.perf_counter()
     run = execute_streamed(
         kernel,
         inputs,
@@ -594,9 +617,11 @@ def _execute_streamed_kernel(
         device=context.device,
         transfer_bytes=int(transfer_bytes),
     )
+    elapsed = time.perf_counter() - started
     compute_total = run.kernel_seconds_per_chunk * run.chunks
     context.report.kernel_seconds += compute_total
     context.report.pcie_seconds += max(run.pipelined_seconds - compute_total, 0.0)
+    context.report.data_plane_seconds += elapsed
     context.report.kernel_executions.append(
         KernelExecution(
             name=kernel.name,
@@ -607,6 +632,7 @@ def _execute_streamed_kernel(
             kernel_seconds_per_chunk=run.kernel_seconds_per_chunk,
             serial_seconds=run.serial_seconds,
             pipelined_seconds=run.pipelined_seconds,
+            data_plane_seconds=elapsed,
         )
     )
     return run.result

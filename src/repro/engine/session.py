@@ -150,13 +150,16 @@ class Database:
         sql: str,
         simulate_rows: Optional[int] = None,
         streaming: Optional[StreamingConfig] = None,
+        measure_data_plane: bool = False,
     ):
         """Plan (but do not fully execute) a query; returns an ExplainResult.
 
         Shows the operator chain, every kernel the JIT would generate (with
         its optimised expression and the Listing-1-style source), the
         simulated cost estimates, and -- with streaming enabled -- each
-        kernel's chunk count and pipelined-vs-serial estimate.
+        kernel's chunk count and pipelined-vs-serial estimate.  With
+        ``measure_data_plane`` each kernel is also run once over the stored
+        rows and its measured wall clock reported alongside the estimates.
         """
         from repro.engine.explain import explain_query
 
@@ -178,6 +181,7 @@ class Database:
             self.device,
             joined=joined,
             streaming=streaming if streaming is not None else self.streaming,
+            measure_data_plane=measure_data_plane,
         )
         result.sql = sql.strip()
         return result

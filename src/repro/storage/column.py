@@ -7,8 +7,9 @@ kernels load and expand.  Other types use plain numpy arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +26,13 @@ from repro.storage.schema import (
 )
 
 
+#: Process-wide source of column version numbers.  Every Column construction
+#: (including the fresh Columns built by ``take``/``head``) draws a new
+#: version, so a cached register expansion can never outlive the compact
+#: bytes it was expanded from.
+_VERSIONS = itertools.count(1)
+
+
 @dataclass
 class Column:
     """One named column of a relation."""
@@ -32,8 +40,13 @@ class Column:
     name: str
     column_type: ColumnType
     data: np.ndarray  # (N, Lb) uint8 for DECIMAL; (N,) otherwise
+    _version: int = field(init=False, repr=False, compare=False)
+    _vector_cache: "Optional[Tuple[int, DecimalVector]]" = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
+        self._version = next(_VERSIONS)
         if isinstance(self.column_type, DecimalType):
             expected = self.column_type.spec.compact_bytes
             if self.data.ndim != 2 or self.data.shape[1] != expected:
@@ -41,6 +54,21 @@ class Column:
                     f"decimal column {self.name!r} needs shape (N, {expected}), "
                     f"got {self.data.shape}"
                 )
+
+    @property
+    def version(self) -> int:
+        """Cache key for derived forms; bumped whenever ``data`` may change."""
+        return self._version
+
+    def invalidate(self) -> None:
+        """Bump the version after an in-place edit of ``data``.
+
+        Anything that mutates the compact bytes directly (the storage layer
+        itself never does; tests and loaders might) must call this so a
+        stale register expansion is never served.
+        """
+        self._version = next(_VERSIONS)
+        self._vector_cache = None
 
     @property
     def rows(self) -> int:
@@ -62,9 +90,21 @@ class Column:
         return cls(name, DecimalType(spec), vector.to_compact())
 
     def decimal_vector(self) -> DecimalVector:
-        """Expand to register form (what a kernel's load phase does)."""
+        """Expand to register form (what a kernel's load phase does).
+
+        The expansion is cached against :attr:`version`, so repeated calls
+        across operators and queries run ``unpack_column`` once.  Callers
+        receive a *shared* vector and must honour the
+        :class:`~repro.core.decimal.vectorized.DecimalVector` aliasing
+        contract: never write into its planes (``.copy()`` first).
+        """
         spec = self._decimal_spec()
-        return DecimalVector.from_compact(self.data, spec)
+        cached = self._vector_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        vector = DecimalVector.from_compact(self.data, spec)
+        self._vector_cache = (self._version, vector)
+        return vector
 
     def unscaled(self) -> List[int]:
         """Signed unscaled values (oracle interface)."""

@@ -6,6 +6,7 @@ experiment modules stay runnable from the plain test suite.
 
 
 from repro.bench.experiments import (
+    ext_hotpath,
     fig01_motivation,
     fig08_query1,
     fig09_query2,
@@ -90,3 +91,11 @@ class TestSmoke:
     def test_table2(self):
         experiment = table2_capabilities.run()
         assert all(row[3] == "ok" for row in experiment.rows)
+
+    def test_ext_hotpath(self):
+        experiment = ext_hotpath.run(rows=600, lengths=(1, 8), repeats=1)
+        assert len(experiment.rows) == 8  # 4 kernels x 2 widths
+        # Bit-exactness is asserted inside run(); the smoke run only needs
+        # the vectorised path to not lose to the row loop.
+        assert all(row[5] >= 1.0 for row in experiment.rows)
+        assert all(row[6] for row in experiment.rows)

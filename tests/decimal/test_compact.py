@@ -89,3 +89,39 @@ class TestColumnPack:
         spec = DecimalSpec(18, 2)
         with pytest.raises(ConversionError):
             compact.unpack_column(np.zeros((3, 1), np.uint8), spec)
+
+    def test_padding_branch_roundtrip(self):
+        # p=19 is the rare shape where Lb exceeds 4*Lw: the magnitude needs
+        # all 64 register bits, so the sign bit spills into a ninth padding
+        # byte (Lb=9 > 4*Lw=8) and pack_column must widen before packing.
+        spec = DecimalSpec(19, 2)
+        assert spec.compact_bytes > 4 * spec.words
+        values = [10**19 - 1, -(10**19 - 1), 0, 1, -123456789012345678]
+        negative, words = self.make_column(values, spec)
+        packed = compact.pack_column(negative, words, spec)
+        assert packed.shape == (len(values), spec.compact_bytes)
+        out_negative, out_words = compact.unpack_column(packed, spec)
+        assert np.array_equal(out_words, words)
+        nonzero = words.any(axis=1)
+        assert np.array_equal(out_negative, negative & nonzero)
+        # The padding byte carries only the sign bit, never magnitude.
+        assert not np.any(packed[:, -1] & ~np.uint8(compact.SIGN_BIT))
+
+    def test_padding_branch_matches_scalar(self):
+        spec = DecimalSpec(19, 2)
+        values = [10**19 - 1, -(10**18), 42]
+        negative, words = self.make_column(values, spec)
+        packed = compact.pack_column(negative, words, spec)
+        for row, value in enumerate(values):
+            expected = compact.pack(value < 0, tuple(words[row].tolist()), spec)
+            assert packed[row].tobytes() == expected
+
+    def test_unpack_rejects_bytes_exceeding_register_array(self):
+        # Forge magnitude bits in a compact byte that lies beyond the 4*Lw
+        # bytes the register array can hold: unpack_column must reject the
+        # column rather than silently truncate.
+        spec = DecimalSpec(19, 2)  # Lb=9, Lw=2: byte 8 must stay sign-only
+        data = np.zeros((2, spec.compact_bytes), dtype=np.uint8)
+        data[1, -1] = 0x01  # magnitude bit in the padding byte
+        with pytest.raises(ConversionError, match="exceed the register array"):
+            compact.unpack_column(data, spec)

@@ -1,0 +1,229 @@
+"""Bit-exactness of the vectorised hot path vs the row-loop reference.
+
+The batched kernels in :mod:`repro.core.decimal.vectorized` replaced
+per-row Python loops; those loops live on in
+:mod:`repro.core.decimal.reference` as the oracle.  These tests sweep the
+vectorised fast paths against the reference across signs, zero rows,
+max-magnitude values, and mixed uint64/wide columns over ``Lw`` 1..32,
+plus the row-indexed zero-divisor errors and the ``neg``/``absolute``
+aliasing contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decimal import division, reference
+from repro.core.decimal import vectorized as vz
+from repro.core.decimal.context import DecimalSpec, precision_for_words
+from repro.core.decimal.vectorized import DecimalVector
+from repro.errors import DivisionByZeroError
+
+ALL_WIDTHS = (1, 2, 3, 4, 8, 16, 17, 32)
+
+
+def assert_vectors_equal(actual: DecimalVector, expected: DecimalVector) -> None:
+    assert actual.spec == expected.spec
+    assert np.array_equal(
+        np.asarray(actual.negative, bool), np.asarray(expected.negative, bool)
+    )
+    assert np.array_equal(actual.words, expected.words)
+
+
+def column_values(width: int, scale: int = 2):
+    """Mixed-size signed values for one register width: the uint64-friendly
+    band, the full wide band, zeros, and the exact max magnitudes."""
+    spec = DecimalSpec(precision_for_words(width), scale)
+    cap = spec.max_unscaled
+    small_cap = min(10**9, cap)
+    small = st.integers(min_value=-small_cap, max_value=small_cap)
+    wide = st.integers(min_value=-cap, max_value=cap)
+    edges = st.sampled_from([0, 1, -1, cap, -cap])
+    return spec, st.lists(
+        st.one_of(small, wide, edges), min_size=1, max_size=24
+    )
+
+
+@st.composite
+def single_columns(draw, scale=2):
+    width = draw(st.sampled_from(ALL_WIDTHS))
+    spec, values = column_values(width, scale)
+    return DecimalVector.from_unscaled(draw(values), spec), spec
+
+
+@st.composite
+def operand_pairs(draw, scale=2, nonzero_b=False, same_spec=False):
+    width_a = draw(st.sampled_from(ALL_WIDTHS))
+    width_b = width_a if same_spec else draw(st.sampled_from(ALL_WIDTHS))
+    spec_a, values_a = column_values(width_a, scale)
+    spec_b, _ = column_values(width_b, scale)
+    a_vals = draw(values_a)
+    b_vals = draw(
+        st.lists(
+            st.integers(min_value=-spec_b.max_unscaled, max_value=spec_b.max_unscaled),
+            min_size=len(a_vals),
+            max_size=len(a_vals),
+        )
+    )
+    if nonzero_b:
+        b_vals = [v if v else 7 for v in b_vals]
+    return (
+        DecimalVector.from_unscaled(a_vals, spec_a),
+        DecimalVector.from_unscaled(b_vals, spec_b),
+    )
+
+
+class TestConversionRoundtrips:
+    @given(single_columns())
+    @settings(max_examples=120, deadline=None)
+    def test_to_unscaled_matches_rowloop(self, built):
+        vector, _spec = built
+        assert vector.to_unscaled() == reference.to_unscaled_rowloop(vector)
+
+    @given(single_columns())
+    @settings(max_examples=80, deadline=None)
+    def test_from_unscaled_matches_rowloop(self, built):
+        vector, spec = built
+        values = reference.to_unscaled_rowloop(vector)
+        assert_vectors_equal(
+            DecimalVector.from_unscaled(values, spec),
+            reference.from_unscaled_rowloop(values, spec),
+        )
+
+    @given(single_columns(), st.sampled_from(ALL_WIDTHS))
+    @settings(max_examples=80, deadline=None)
+    def test_container_constructor_matches_rowloop(self, built, target_width):
+        vector, _spec = built
+        values = reference.to_unscaled_rowloop(vector)
+        target = DecimalSpec(precision_for_words(target_width), 2)
+        assert_vectors_equal(
+            DecimalVector.from_unscaled_container(values, target),
+            reference.from_unscaled_container_rowloop(values, target),
+        )
+
+    def test_max_magnitude_every_width(self):
+        for width in range(1, 33):
+            spec = DecimalSpec(precision_for_words(width), 2)
+            cap = spec.max_unscaled
+            values = [cap, -cap, 0, 1, -1, cap // 2]
+            vector = DecimalVector.from_unscaled(values, spec)
+            assert vector.to_unscaled() == values
+            assert vector.to_unscaled() == reference.to_unscaled_rowloop(vector)
+
+
+class TestKernelsMatchRowloop:
+    @given(operand_pairs(nonzero_b=True))
+    @settings(max_examples=100, deadline=None)
+    def test_div(self, pair):
+        a, b = pair
+        assert_vectors_equal(vz.div(a, b), reference.div_rowloop(a, b))
+
+    @given(operand_pairs(scale=0, nonzero_b=True, same_spec=True))
+    @settings(max_examples=80, deadline=None)
+    def test_mod(self, pair):
+        a, b = pair
+        assert_vectors_equal(vz.mod(a, b), reference.mod_rowloop(a, b))
+
+    @given(operand_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_add(self, pair):
+        a, b = pair
+        assert_vectors_equal(vz.add(a, b), reference.add_rowloop(a, b))
+
+    @given(operand_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_mul(self, pair):
+        a, b = pair
+        assert_vectors_equal(vz.mul(a, b), reference.mul_rowloop(a, b))
+
+    @given(single_columns(scale=6), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_rescale_down(self, built, target_scale):
+        vector, _spec = built
+        assert_vectors_equal(
+            vector.rescale(target_scale),
+            reference.rescale_down_rowloop(vector, target_scale),
+        )
+
+    @given(
+        single_columns(scale=6),
+        st.integers(min_value=0, max_value=6),
+        st.sampled_from(["trunc", "round", "ceil", "floor"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rescale_with_mode_short_drops(self, built, target_scale, mode):
+        vector, spec = built
+        target = DecimalSpec(spec.precision, target_scale)
+        assert_vectors_equal(
+            vz.rescale_with_mode(vector, target, mode),
+            reference.rescale_with_mode_rowloop(vector, target, mode),
+        )
+
+    @given(st.sampled_from(["trunc", "round", "ceil", "floor"]))
+    @settings(max_examples=20, deadline=None)
+    def test_rescale_with_mode_wide_drop(self, mode):
+        # Dropping more than nine digits at once takes the big-int branch.
+        spec = DecimalSpec(30, 14)
+        values = [10**29 - 1, -(10**29 - 1), 0, 5 * 10**13, -(5 * 10**13), 123]
+        vector = DecimalVector.from_unscaled(values, spec)
+        target = DecimalSpec(30, 0)
+        assert_vectors_equal(
+            vz.rescale_with_mode(vector, target, mode),
+            reference.rescale_with_mode_rowloop(vector, target, mode),
+        )
+
+    def test_division_fast_path_classes_in_one_column(self):
+        # One column hitting all three division size classes at once:
+        # native uint64 rows, single-word-divisor rows, and wide rows.
+        spec = DecimalSpec(precision_for_words(8), 2)
+        a_vals = [123456, 10**20, 10**70, -98765, 0, 10**70]
+        b_vals = [7, 3, 5, -(10**15), 11, -(10**55)]
+        a = DecimalVector.from_unscaled(a_vals, spec)
+        b = DecimalVector.from_unscaled(b_vals, spec)
+        assert_vectors_equal(vz.div(a, b), reference.div_rowloop(a, b))
+
+
+class TestZeroDivisorRowIndex:
+    def test_div_names_first_offending_row(self):
+        spec = DecimalSpec(10, 2)
+        a = DecimalVector.from_unscaled([100, 200, 300], spec)
+        b = DecimalVector.from_unscaled([5, 0, 0], spec)
+        with pytest.raises(DivisionByZeroError, match=r"division by zero at row 1"):
+            vz.div(a, b)
+
+    def test_mod_names_first_offending_row(self):
+        spec = DecimalSpec(10, 0)
+        a = DecimalVector.from_unscaled([100, 200, 300], spec)
+        b = DecimalVector.from_unscaled([5, 4, 0], spec)
+        with pytest.raises(DivisionByZeroError, match=r"modulo by zero at row 2"):
+            vz.mod(a, b)
+
+    def test_short_div_columns_names_row(self):
+        words = np.ones((4, 2), dtype=np.uint32)
+        divisors = np.array([3, 9, 0, 1], dtype=np.uint64)
+        with pytest.raises(DivisionByZeroError, match=r"row 2"):
+            division.short_div_columns(words, divisors)
+
+
+class TestAliasingContract:
+    def test_neg_shares_words(self):
+        spec = DecimalSpec(19, 2)
+        a = DecimalVector.from_unscaled([5, -7, 0], spec)
+        negated = vz.neg(a)
+        assert negated.words is a.words
+        assert negated.to_unscaled() == [-5, 7, 0]
+
+    def test_absolute_shares_words(self):
+        spec = DecimalSpec(19, 2)
+        a = DecimalVector.from_unscaled([5, -7, 0], spec)
+        absolute = vz.absolute(a)
+        assert absolute.words is a.words
+        assert absolute.to_unscaled() == [5, 7, 0]
+
+    def test_copy_detaches(self):
+        spec = DecimalSpec(19, 2)
+        a = DecimalVector.from_unscaled([5, -7, 0], spec)
+        clone = a.copy()
+        assert clone.words is not a.words
+        assert not np.shares_memory(clone.words, a.words)

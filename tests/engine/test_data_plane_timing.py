@@ -1,0 +1,80 @@
+"""Measured data-plane wall time in reports, EXPLAIN and the profiler."""
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.decimal.vectorized import DecimalVector
+from repro.core.jit import compile_expression
+from repro.engine import Database
+from repro.gpusim.profiler import measure_data_plane
+from repro.gpusim.streaming import StreamingConfig
+from repro.storage.column import Column
+from repro.storage.relation import Relation
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    spec = DecimalSpec(15, 2)
+    db.register(
+        Relation(
+            "t",
+            [
+                Column.decimal_from_unscaled("a", [123456, -99, 0, 500], spec),
+                Column.decimal_from_unscaled("b", [7, 3, 11, -2], spec),
+            ],
+        )
+    )
+    return db
+
+
+class TestReportDataPlaneSeconds:
+    def test_kernel_query_records_wall_time(self):
+        result = make_db().execute("SELECT a * b + a AS v FROM t")
+        report = result.report
+        assert report.data_plane_seconds > 0.0
+        assert report.kernel_executions
+        for entry in report.kernel_executions:
+            assert entry.data_plane_seconds > 0.0
+        # Measured wall time stays out of the simulated total.
+        assert report.data_plane_seconds != report.total_seconds
+
+    def test_aggregation_conversion_is_timed(self):
+        result = make_db().execute("SELECT SUM(a) FROM t")
+        assert result.report.data_plane_seconds > 0.0
+
+    def test_streamed_kernels_record_wall_time(self):
+        db = make_db(streaming=StreamingConfig(enabled=True, chunk_rows=2))
+        result = db.execute("SELECT a * b AS v FROM t")
+        streamed = result.report.streamed_kernels
+        assert streamed
+        for entry in streamed:
+            assert entry.data_plane_seconds > 0.0
+
+
+class TestExplainMeasured:
+    def test_measure_data_plane_populates_kernel_plans(self):
+        explained = make_db().explain("SELECT a * b + a FROM t", measure_data_plane=True)
+        assert explained.kernels
+        for kernel in explained.kernels:
+            assert kernel.data_plane_ms is not None and kernel.data_plane_ms > 0.0
+            assert kernel.data_plane_rows_per_s > 0.0
+        assert "data plane (measured)" in explained.format()
+
+    def test_default_explain_skips_measurement(self):
+        explained = make_db().explain("SELECT a * b FROM t")
+        for kernel in explained.kernels:
+            assert kernel.data_plane_ms is None
+        assert "data plane (measured)" not in explained.format()
+
+
+class TestProfilerMeasurement:
+    def test_measure_data_plane_runs_the_kernel(self):
+        spec = DecimalSpec(15, 2)
+        compiled = compile_expression("a + b", {"a": spec, "b": spec})
+        columns = {
+            "a": DecimalVector.from_unscaled([10, -20, 30], spec).to_compact(),
+            "b": DecimalVector.from_unscaled([1, 2, 3], spec).to_compact(),
+        }
+        measured = measure_data_plane(compiled.kernel, columns, 3, repeats=2)
+        assert measured.rows == 3
+        assert measured.seconds > 0.0
+        assert measured.rows_per_second > 0.0
+        assert "rows/s" in str(measured)
