@@ -44,7 +44,7 @@ def run_ablation(widths=WIDTHS) -> Experiment:
     for width in widths:
         dividend, divisor = _operands(width)
         row = [width]
-        for name, algorithm in ALGORITHMS.items():
+        for algorithm in ALGORITHMS.values():
             start = time.perf_counter()
             quotient, remainder, stats = algorithm(dividend, divisor)
             elapsed = time.perf_counter() - start

@@ -35,7 +35,7 @@ def test_fig15_sine(benchmark, experiment):
 
     # UltraPrecise ~2 orders faster than every peer at every point.
     for rows in (near_zero, near_pi4):
-        for terms, row in rows.items():
+        for row in rows.values():
             up_time = row[2]
             for index in (4, 6, 8):  # PG / H2 / CockroachDB times
                 assert row[index] > 10 * up_time

@@ -18,7 +18,7 @@ def test_table1(benchmark, experiment):
 
     rows = {row[0]: row for row in experiment.rows}
     assert len(rows) == 21  # Q2..Q22
-    for name, row in rows.items():
+    for row in rows.values():
         delta = row[4]
         if row[5] == "yes":  # Q18 / Q20
             assert delta > 20
@@ -27,5 +27,5 @@ def test_table1(benchmark, experiment):
     # Paper's two regressions specifically.
     assert rows["Q18"][5] == "yes" and rows["Q20"][5] == "yes"
     # Modelled values land near the paper's UltraPrecise column.
-    for name, row in rows.items():
+    for row in rows.values():
         assert row[2] == pytest.approx(row[3], rel=0.35)

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.analysis`` runs the workload sweep."""
+
+import sys
+
+from repro.analysis.sweep import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Def-use / register-lifetime analysis pass (``LIFE*`` rules).
+
+The code generator's ``_Emitter`` hands out monotonically increasing
+virtual register ids and tracks live words against a pool (temporaries are
+released after their last consumer, CSE-pinned and column registers stay
+live for the whole kernel).  This pass replays the kernel against that
+model and checks:
+
+* ``LIFE001`` dead store -- a computed value never read (warning: wasted
+  per-tuple ALU work);
+* ``LIFE002`` unused load -- a column/constant load never read (warning:
+  wasted memory traffic);
+* ``LIFE003`` double define -- a register id defined twice (error: the
+  emitter's ids are single-assignment, a second def means a codegen bug);
+* ``LIFE004`` use after release -- an instruction reads a register after
+  codegen returned it to the pool (error: on real hardware the physical
+  register may have been reassigned);
+* ``LIFE005`` peak-words mismatch -- ``KernelIR.register_words`` disagrees
+  with a replay of the def/release schedule (warning: the occupancy model
+  would be fed a wrong register pressure).
+
+``LIFE004``/``LIFE005`` need the release schedule the emitter recorded in
+``KernelIR.released_after``; hand-built kernels without one skip those two
+checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.jit import ir
+
+DEAD_STORE = "LIFE001"
+UNUSED_LOAD = "LIFE002"
+DOUBLE_DEFINE = "LIFE003"
+USE_AFTER_RELEASE = "LIFE004"
+PEAK_WORDS_MISMATCH = "LIFE005"
+
+
+def _reads(instruction: ir.Instruction) -> List[int]:
+    """Registers an instruction reads, in operand order."""
+    if isinstance(instruction, (ir.AddOp, ir.SubOp, ir.MulOp, ir.DivOp, ir.ModOp)):
+        return [instruction.a, instruction.b]
+    if isinstance(
+        instruction,
+        (ir.Align, ir.NegOp, ir.AbsOp, ir.SignOp, ir.RescaleOp, ir.StoreResult),
+    ):
+        return [instruction.src]
+    return []
+
+
+def check_lifetime(kernel: ir.KernelIR) -> List[Diagnostic]:
+    """Collect every lifetime violation in a structurally valid kernel."""
+    findings: List[Diagnostic] = []
+    defined_at: Dict[int, int] = {}
+    define_spec: Dict[int, ir.Instruction] = {}
+    used: set = set()
+    released = kernel.released_after
+
+    def report(rule: str, severity: Severity, message: str, position: int) -> None:
+        findings.append(
+            Diagnostic(rule, severity, message, kernel=kernel.name, instruction=position)
+        )
+
+    for position, instruction in enumerate(kernel.instructions):
+        for register in _reads(instruction):
+            used.add(register)
+            if (
+                released is not None
+                and register in released
+                and released[register] < position
+            ):
+                report(
+                    USE_AFTER_RELEASE,
+                    Severity.ERROR,
+                    f"{type(instruction).__name__} reads r{register}, released "
+                    f"after instruction {released[register]}",
+                    position,
+                )
+        if isinstance(instruction, ir.StoreResult):
+            continue  # stores reuse the result register, they define nothing
+        if instruction.dst in defined_at:
+            report(
+                DOUBLE_DEFINE,
+                Severity.ERROR,
+                f"r{instruction.dst} already defined at instruction "
+                f"{defined_at[instruction.dst]}",
+                position,
+            )
+        defined_at[instruction.dst] = position
+        define_spec[instruction.dst] = instruction
+
+    for register, position in defined_at.items():
+        if register in used:
+            continue
+        definition = define_spec[register]
+        if isinstance(definition, (ir.LoadColumn, ir.LoadConst)):
+            what = (
+                f"column {definition.column!r}"
+                if isinstance(definition, ir.LoadColumn)
+                else "constant"
+            )
+            report(
+                UNUSED_LOAD,
+                Severity.WARNING,
+                f"r{register} loads {what} but is never read",
+                position,
+            )
+        else:
+            report(
+                DEAD_STORE,
+                Severity.WARNING,
+                f"r{register} ({type(definition).__name__}) is never read",
+                position,
+            )
+
+    if released is not None:
+        findings.extend(_check_peak_words(kernel, released))
+    return findings
+
+
+def _check_peak_words(
+    kernel: ir.KernelIR, released: Dict[int, int]
+) -> List[Diagnostic]:
+    """Replay the def/release schedule and recompute peak live words."""
+    releases_at: Dict[int, List[int]] = {}
+    for register, position in released.items():
+        releases_at.setdefault(position, []).append(register)
+
+    words: Dict[int, int] = {}
+    live = 0
+    peak = 0
+    for position, instruction in enumerate(kernel.instructions):
+        if not isinstance(instruction, ir.StoreResult):
+            words[instruction.dst] = instruction.spec.words
+            live += instruction.spec.words
+            peak = max(peak, live)
+        for register in releases_at.get(position, ()):
+            live -= words.get(register, 0)
+
+    if peak != kernel.register_words:
+        return [
+            Diagnostic(
+                PEAK_WORDS_MISMATCH,
+                Severity.WARNING,
+                f"register_words says {kernel.register_words} but the "
+                f"def/release schedule peaks at {peak} words",
+                kernel=kernel.name,
+            )
+        ]
+    return []

@@ -1,0 +1,115 @@
+"""Schedule/folding lint pass (``SCHED*`` rules).
+
+Two lints over the *optimised* artefacts:
+
+* ``SCHED001`` -- an addition chain whose term order performs more runtime
+  alignments than the ascending-effective-scale order the section III-D1
+  scheduler produces.  Checked on the optimised expression tree (the chain
+  structure is gone by IR time): the lint simulates the left-deep running
+  scale for the actual order and for the sorted order and warns only when
+  sorting is *strictly* cheaper, so equal-cost permutations stay quiet.
+* ``SCHED002`` -- an IR instruction computed entirely from constants, i.e.
+  a constant subtree that survived constant folding (section III-D2) and
+  now burns per-tuple ALU work for a value known at compile time.
+
+Both fire by design when the corresponding optimisation is switched off --
+the Figure 10/11 ablation configurations are exactly the states these
+lints describe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.jit import ir
+from repro.core.jit.expr_ast import BinaryOp, Expr, NaryAdd
+from repro.errors import ExpressionError
+
+MISORDERED_SUM = "SCHED001"
+CONSTANT_SUBTREE = "SCHED002"
+
+
+def _chain_alignments(scales: Sequence[int]) -> int:
+    """Runtime alignments of a left-deep sum over terms with these scales."""
+    total = 0
+    running = scales[0]
+    for scale in scales[1:]:
+        if scale != running:
+            total += 1
+            running = max(running, scale)
+    return total
+
+
+def _sum_terms(node: Expr) -> List[Expr]:
+    """Flatten a left-deep ``+`` chain into its terms, leftmost first."""
+    if isinstance(node, BinaryOp) and node.op == "+":
+        return _sum_terms(node.left) + [node.right]
+    return [node]
+
+
+def check_schedule_tree(tree: Expr, kernel_name: str) -> List[Diagnostic]:
+    """Lint every maximal addition chain of an optimised expression tree."""
+    findings: List[Diagnostic] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, NaryAdd) or (isinstance(node, BinaryOp) and node.op == "+"):
+            # The left spine of a `+` chain is flattened here, so recursing
+            # into the terms below never re-checks a sub-chain of this one;
+            # a right-nested `+` term is a genuinely separate chain.
+            terms = list(node.terms) if isinstance(node, NaryAdd) else _sum_terms(node)
+            try:
+                scales = [term.effective_scale for term in terms]
+            except ExpressionError:
+                scales = None  # un-annotated tree: nothing to lint
+            if scales is not None and len(scales) > 2:
+                actual = _chain_alignments(scales)
+                best = _chain_alignments(sorted(scales))
+                if actual > best:
+                    findings.append(
+                        Diagnostic(
+                            MISORDERED_SUM,
+                            Severity.WARNING,
+                            f"sum term scales {scales} perform {actual} "
+                            f"alignment(s); ascending order needs {best}",
+                            kernel=kernel_name,
+                        )
+                    )
+            for term in terms:
+                visit(term)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(tree)
+    return findings
+
+
+def check_schedule_ir(kernel: ir.KernelIR) -> List[Diagnostic]:
+    """Flag instructions whose operands derive only from constants."""
+    findings: List[Diagnostic] = []
+    constant_registers: set = set()
+
+    for position, instruction in enumerate(kernel.instructions):
+        if isinstance(instruction, ir.LoadConst):
+            constant_registers.add(instruction.dst)
+            continue
+        if isinstance(instruction, (ir.LoadColumn, ir.StoreResult)):
+            continue
+        if isinstance(instruction, (ir.AddOp, ir.SubOp, ir.MulOp, ir.DivOp, ir.ModOp)):
+            sources = (instruction.a, instruction.b)
+        else:
+            sources = (instruction.src,)
+        if all(source in constant_registers for source in sources):
+            constant_registers.add(instruction.dst)
+            findings.append(
+                Diagnostic(
+                    CONSTANT_SUBTREE,
+                    Severity.WARNING,
+                    f"{type(instruction).__name__} computes a compile-time "
+                    "constant every tuple (constant subtree survived folding)",
+                    kernel=kernel.name,
+                    instruction=position,
+                )
+            )
+    return findings

@@ -1,0 +1,163 @@
+"""Repo-wide analysis sweep: every workload kernel through the analyzer.
+
+``python -m repro.analysis`` compiles every kernel the TPC-H, Figure 1,
+RSA and trigonometry workloads generate (via the same planner/EXPLAIN path
+real queries take, so aggregation-argument kernels are included) and
+prints their diagnostics.  The process exits non-zero when any kernel has
+an error-severity finding -- CI runs this as the overflow-freedom gate for
+the paper's section III-B3 claim.
+
+Relations are built tiny (the analyzer only reads specs, never data), so
+the sweep is compile-bound and fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.analysis.diagnostics import AnalysisReport, Severity
+
+#: Rows per generated relation: the analyzer is static, data size is moot.
+_SWEEP_ROWS = 16
+
+
+@dataclass
+class SweptKernel:
+    """One analyzed kernel of one workload."""
+
+    workload: str
+    kernel: str
+    expression: str
+    report: AnalysisReport
+
+
+def _database(*relations) -> "Database":
+    from repro.engine import Database
+
+    db = Database(simulate_rows=10_000_000)
+    for relation in relations:
+        db.register(relation)
+    return db
+
+
+def _explain_kernels(workload: str, db, sql: str) -> Iterator[SweptKernel]:
+    for plan in db.explain(sql).kernels:
+        report = plan.diagnostics
+        if report is None:  # pragma: no cover - pipeline always attaches one
+            report = AnalysisReport(kernel=plan.name)
+        yield SweptKernel(workload, plan.name, plan.expression.strip(), report)
+
+
+def iter_workload_kernels(workloads: Optional[Sequence[str]] = None) -> Iterator[SweptKernel]:
+    """Yield every workload kernel's analysis report.
+
+    ``workloads`` filters by family name (``figure1``, ``tpch``, ``rsa``,
+    ``trig``); ``None`` sweeps everything.
+    """
+    selected = set(workloads) if workloads else {"figure1", "tpch", "rsa", "trig"}
+
+    if "figure1" in selected:
+        from repro.workloads import figure1
+
+        for config in figure1.CONFIGURATIONS:
+            db = _database(figure1.build_relation(config, rows=_SWEEP_ROWS))
+            yield from _explain_kernels(
+                f"figure1/{config}", db, "SELECT SUM(c1 + c2) FROM R"
+            )
+
+    if "tpch" in selected:
+        from repro.storage import tpch
+        from repro.workloads import tpch_queries
+
+        lineitem_db = _database(tpch.lineitem(rows=_SWEEP_ROWS, seed=11))
+        yield from _explain_kernels("tpch/q1", lineitem_db, tpch_queries.Q1_SQL)
+        yield from _explain_kernels("tpch/q6", lineitem_db, tpch_queries.Q6_SQL)
+        q3_db = _database(
+            tpch.lineitem_with_orderkeys(rows=_SWEEP_ROWS, seed=7, order_count=8),
+            tpch.orders(rows=8, seed=17),
+            tpch.customer(rows=4, seed=19),
+        )
+        yield from _explain_kernels("tpch/q3", q3_db, tpch_queries.Q3_SQL)
+
+    if "rsa" in selected:
+        from repro.workloads import rsa
+
+        for length in sorted(rsa.MESSAGE_PRECISION):
+            workload = rsa.build_workload(length, rows=_SWEEP_ROWS)
+            db = _database(workload.relation)
+            yield from _explain_kernels(f"rsa/len{length}", db, workload.query)
+
+    if "trig" in selected:
+        from repro.storage.datagen import relation_r5
+        from repro.workloads import trig
+
+        db = _database(relation_r5(rows=_SWEEP_ROWS))
+        for column in trig.INPUT_COLUMNS.values():
+            for terms in trig.TERM_RANGE:
+                sql = f"SELECT {trig.sine_expression(column, terms)} FROM R5"
+                yield from _explain_kernels(f"trig/{column}/terms{terms}", db, sql)
+
+
+def run_sweep(
+    workloads: Optional[Sequence[str]] = None,
+    min_severity: Severity = Severity.WARNING,
+    verbose: bool = False,
+) -> int:
+    """Sweep, print a summary, return the process exit code (0 = clean)."""
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    cutoff = order[min_severity]
+    swept: List[SweptKernel] = list(iter_workload_kernels(workloads))
+    errors = warnings = infos = 0
+
+    for item in swept:
+        report = item.report
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+        infos += len(report.infos)
+        shown = [d for d in report.diagnostics if order[d.severity] <= cutoff]
+        if verbose or shown:
+            print(f"{item.workload} :: {item.kernel}: {item.expression}")
+        for diagnostic in shown:
+            print(f"  {diagnostic.format()}")
+
+    print(
+        f"analyzed {len(swept)} kernel(s): "
+        f"{errors} error(s), {warnings} warning(s), {infos} info(s)"
+    )
+    if errors:
+        print("FAIL: the range/lifetime analyzer found errors")
+        return 1
+    print("OK: every workload kernel is provably overflow-free")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyze every workload kernel (CI gate).",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=["figure1", "tpch", "rsa", "trig"],
+        help="restrict to one workload family (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=["error", "warning", "info"],
+        default="warning",
+        help="lowest severity to print per kernel (default: warning)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every kernel, including clean ones",
+    )
+    arguments = parser.parse_args(argv)
+    return run_sweep(
+        workloads=arguments.workload,
+        min_severity=Severity(arguments.min_severity),
+        verbose=arguments.verbose,
+    )

@@ -11,6 +11,16 @@ the vectorised kernel for ``add``, ``mul``, ``div`` and a
 
 Bit-exactness is asserted inline for every (kernel, Lw) cell: the
 vectorised result must equal the row-loop result plane for plane.
+
+The ``div[static:*]`` cells measure the range analyzer's feedback loop
+(section III-B3): when the analyzer proves every divisor fits one word
+(``short``) or that pre-scaled dividend and divisor both fit uint64
+(``native64``), the compiled kernel carries that size class and the
+vectorised division skips its per-row dispatch (uint64 folds, threshold
+masks, index partitioning) entirely.  Their baseline column is the
+*dynamically dispatched* vectorised division over the same operands, and
+their results are additionally asserted bit-exact against the row-loop
+reference.
 """
 
 from __future__ import annotations
@@ -84,6 +94,72 @@ def _best_seconds(fn: Callable[[], object], repeats: int) -> Tuple[float, object
     return best, result
 
 
+def _static_scenarios(rows: int, lengths, seed: int):
+    """Operand columns for the statically-routed division cells.
+
+    * ``native64`` at the narrow widths: the per-row dispatcher lands every
+      row on the uint64 route too, so the measured delta is pure dispatch
+      overhead (fold masks, threshold checks, index scatter).
+    * ``short`` at the first wide width: every dividend is too wide for the
+      uint64 route but every divisor fits one word, so ``short`` is the
+      best provable class and the static route skips the partitioning the
+      dynamic dispatcher needs to discover the same thing row by row.
+    """
+    scenarios = []
+    for length in lengths:
+        if length <= 2:
+            a, b = _operand_columns(length, rows, seed)
+            scenarios.append(("native64", length, a, b))
+    wide = [length for length in lengths if length > 2]
+    if wide:
+        length = wide[0]
+        scenarios.append(("short", length, *_short_scenario_columns(length, rows, seed)))
+    return scenarios
+
+
+def _short_scenario_columns(
+    length: int, rows: int, seed: int
+) -> Tuple[DecimalVector, DecimalVector]:
+    """Wide signed dividends (beyond uint64 after prescale), one-word divisors."""
+    spec = DecimalSpec(precision_for_words(length), 2)
+    rng = np.random.default_rng(seed * 31 + length)
+    prescale_factor = 10 ** (spec.scale + 4)
+    floor = (2**64 - 1) // prescale_factor + 1  # too wide for the uint64 route
+    a_vals = [floor + _big_random(rng, spec.max_unscaled - floor) for _ in range(rows)]
+    b_vals = [int(v) for v in rng.integers(1, _DIVISOR_CAP, size=rows)]
+    sign_mask = rng.random(rows) < 0.5
+    a_vals = [-v if s else v for v, s in zip(a_vals, sign_mask)]
+    b_vals = [-v if s else v for v, s in zip(b_vals, ~sign_mask)]
+    for row in range(0, rows, 97):
+        a_vals[row] = 0
+    return (
+        DecimalVector.from_unscaled(a_vals, spec),
+        DecimalVector.from_unscaled(b_vals, spec),
+    )
+
+
+def _static_division_paths(a: DecimalVector, b: DecimalVector) -> List[str]:
+    """Division fast paths whose preconditions hold on every row of ``a / b``.
+
+    Mirrors the range analyzer's RANGE003/RANGE004 facts (single-word
+    divisors; uint64 pre-scaled dividend and divisor): the bench certifies
+    the precondition over the generated operands up front, exactly the
+    guarantee a ``fast_path`` annotation carries into the executor.
+    """
+    from repro.core.decimal import inference
+
+    factor = 10 ** inference.div_prescale(b.spec)
+    max_a = max((abs(value) for value in a.to_unscaled()), default=0)
+    max_b = max((abs(value) for value in b.to_unscaled()), default=0)
+    uint64_max = 2**64 - 1
+    paths: List[str] = []
+    if factor <= uint64_max and max_a <= uint64_max // factor and max_b <= uint64_max:
+        paths.append("native64")
+    if max_b < 2**32:
+        paths.append("short")
+    return paths
+
+
 def _vectors_equal(x: DecimalVector, y: DecimalVector) -> bool:
     return (
         x.spec == y.spec
@@ -102,7 +178,7 @@ def run(
         "kernel",
         "LEN",
         "rows",
-        "rowloop rows/s",
+        "baseline rows/s",
         "vectorized rows/s",
         "speedup",
         "bit_exact",
@@ -111,18 +187,20 @@ def run(
     for length in lengths:
         a, b = _operand_columns(length, rows, seed)
 
-        def agg_reference() -> Tuple[int, List[int]]:
-            unscaled = reference.to_unscaled_rowloop(a)
+        # ``column=a``/``column=b`` defaults bind the current iteration's
+        # operands (a closure would see the last loop value).
+        def agg_reference(column: DecimalVector = a) -> Tuple[int, List[int]]:
+            unscaled = reference.to_unscaled_rowloop(column)
             return sum(unscaled), unscaled
 
-        def agg_vectorized() -> Tuple[int, List[int]]:
-            unscaled = a.to_unscaled()
+        def agg_vectorized(column: DecimalVector = a) -> Tuple[int, List[int]]:
+            unscaled = column.to_unscaled()
             return sum(unscaled), unscaled
 
         kernels: List[Tuple[str, Callable[[], object], Callable[[], object]]] = [
-            ("add", lambda: reference.add_rowloop(a, b), lambda: vz.add(a, b)),
-            ("mul", lambda: reference.mul_rowloop(a, b), lambda: vz.mul(a, b)),
-            ("div", lambda: reference.div_rowloop(a, b), lambda: vz.div(a, b)),
+            ("add", lambda a=a, b=b: reference.add_rowloop(a, b), lambda a=a, b=b: vz.add(a, b)),
+            ("mul", lambda a=a, b=b: reference.mul_rowloop(a, b), lambda a=a, b=b: vz.mul(a, b)),
+            ("div", lambda a=a, b=b: reference.div_rowloop(a, b), lambda a=a, b=b: vz.div(a, b)),
             ("agg", agg_reference, agg_vectorized),
         ]
         for name, slow, fast in kernels:
@@ -148,6 +226,46 @@ def run(
                     bit_exact,
                 ]
             )
+
+    # Statically-routed division fast paths vs the dynamic dispatcher:
+    # certify the analyzer's precondition over the operand columns, then
+    # send every row down the one proven route with no per-row size-class
+    # checks (what a ``fast_path``-annotated kernel does).  Each scenario
+    # is shaped so the benchmarked path is the *best provable* one -- the
+    # choice the analyzer would annotate.
+    for path, length, a, b in _static_scenarios(rows, lengths, seed):
+        proven = _static_division_paths(a, b)
+        if path not in proven or (path == "short" and "native64" in proven):
+            raise AssertionError(
+                f"static scenario {path}/LEN={length} no longer matches "
+                f"the provable size classes {proven}"
+            )
+        reference_result = reference.div_rowloop(a, b)
+        dynamic_seconds, dynamic_result = _best_seconds(
+            lambda a=a, b=b: vz.div(a, b), repeats
+        )
+        static_seconds, static_result = _best_seconds(
+            lambda a=a, b=b, path=path: vz.div(a, b, fast_path=path), repeats
+        )
+        bit_exact = _vectors_equal(static_result, reference_result) and _vectors_equal(
+            static_result, dynamic_result
+        )
+        if not bit_exact:
+            raise AssertionError(
+                f"static {path} division diverged from the row-loop "
+                f"reference at LEN={length}"
+            )
+        table.append(
+            [
+                f"div[static:{path}]",
+                length,
+                rows,
+                rows / dynamic_seconds if dynamic_seconds else float("inf"),
+                rows / static_seconds if static_seconds else float("inf"),
+                dynamic_seconds / static_seconds if static_seconds else float("inf"),
+                bit_exact,
+            ]
+        )
     return Experiment(
         experiment_id="ext_hotpath",
         title="Data-plane vectorisation: row-loop reference vs batched kernels",
@@ -159,5 +277,8 @@ def run(
             "rowloop = the preserved pre-vectorisation inner loops "
             "(repro.core.decimal.reference); results asserted bit-exact per cell",
             "agg = to_unscaled + python sum, the conversion-bound aggregation path",
+            "div[static:*] = analyzer-proven size class routed with no per-row "
+            "dispatch; baseline is the dynamically dispatched vectorised div, "
+            "results asserted bit-exact against the row loop as well",
         ],
     )

@@ -90,7 +90,7 @@ def _baseline_q1_seconds(name: str, relation, simulate_rows: int) -> Optional[fl
     engine = create_baseline(name)
     try:
         total = 0.0
-        for index, expression in enumerate(EXPRESSIONS):
+        for expression in EXPRESSIONS:
             projection = engine.run_projection(
                 relation.head(64), expression, simulate_rows=simulate_rows, include_scan=False
             )

@@ -23,7 +23,7 @@ guarantees bit-exact results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -198,7 +198,9 @@ def mul(a: DecimalVector, b: DecimalVector) -> DecimalVector:
     return DecimalVector(spec, negative, product)
 
 
-def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+def div(
+    a: DecimalVector, b: DecimalVector, fast_path: Optional[str] = None
+) -> DecimalVector:
     """Columnwise signed division following the section III-B3 rules.
 
     The per-row quotients are exact (dividend pre-scaled by ``10**(s2+4)``,
@@ -215,8 +217,12 @@ def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
       integers (the mathematically identical route the old row loop took
       for every row).
 
-    Zero divisors are rejected up front by a vectorised pre-check that
-    names the first offending row.
+    ``fast_path`` is the static analyzer's proven size class for *every*
+    row (``"native64"`` or ``"short"``): the per-row dispatch (uint64
+    folds, threshold masks, index partitioning) is skipped entirely and
+    the whole column takes the one proven route.  Zero divisors are
+    rejected up front by a vectorised pre-check that names the first
+    offending row.
     """
     spec = inference.div_result(a.spec, b.spec)
     prescale = inference.div_prescale(b.spec)
@@ -224,6 +230,21 @@ def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
     _require_nonzero_divisors(b.words, "division")
     rows = a.rows
     out = np.zeros((rows, spec.words), dtype=np.uint32)
+
+    if fast_path == "native64":
+        quotient = (_fold_low64(a.words) * np.uint64(factor)) // _fold_low64(b.words)
+        _store_uint64(out, quotient)
+        negative = (a.negative != b.negative) & out.any(axis=1)
+        return DecimalVector(spec, negative, out)
+    if fast_path == "short":
+        scaled = _prescale_magnitudes(a.words, prescale, rows)
+        quotient_planes, _ = division.short_div_columns(scaled, _fold_low64(b.words))
+        shared = min(quotient_planes.shape[1], spec.words)
+        out[:, :shared] = quotient_planes[:, :shared]
+        negative = (a.negative != b.negative) & out.any(axis=1)
+        return DecimalVector(spec, negative, out)
+    if fast_path is not None:
+        raise ValueError(f"unknown division fast path {fast_path!r}")
 
     a_fits, a64 = _fold_uint64(a.words)
     b_fits, b64 = _fold_uint64(b.words)
@@ -245,15 +266,9 @@ def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
     short = remaining & b_fits & (b64 < np.uint64(WORD_BASE))
     if short.any():
         index = np.nonzero(short)[0]
-        factor_words = np.asarray(
-            w.from_int(factor, w.pow10_words_needed(prescale)), dtype=np.uint32
-        )
-        wide = a.words.shape[1] + factor_words.shape[0]
-        scaled = _mul_magnitudes(
-            a.words[index], np.tile(factor_words, (index.size, 1)), wide
-        )
+        scaled = _prescale_magnitudes(a.words[index], prescale, index.size)
         quotient_planes, _ = division.short_div_columns(scaled, b64[index])
-        shared = min(wide, spec.words)
+        shared = min(scaled.shape[1], spec.words)
         out[index, :shared] = quotient_planes[:, :shared]
 
     # Residual wide rows: exact big-integer route (wraps into the container
@@ -274,18 +289,34 @@ def div(a: DecimalVector, b: DecimalVector) -> DecimalVector:
     return DecimalVector(spec, negative, out)
 
 
-def mod(a: DecimalVector, b: DecimalVector) -> DecimalVector:
+def mod(
+    a: DecimalVector, b: DecimalVector, fast_path: Optional[str] = None
+) -> DecimalVector:
     """Columnwise integer modulo (sign follows the dividend, as in C).
 
     Size-classed like :func:`div`: uint64 rows take a whole-column numpy
     ``%``, single-word divisors take the vectorised short division's
-    remainder, and only residual wide rows loop in Python.  The vectorised
-    zero-divisor pre-check names the first offending row.
+    remainder, and only residual wide rows loop in Python.  ``fast_path``
+    (statically proven by the range analyzer) sends the whole column down
+    one route with no per-row dispatch.  The vectorised zero-divisor
+    pre-check names the first offending row.
     """
     spec = inference.mod_result(a.spec, b.spec)
     _require_nonzero_divisors(b.words, "modulo")
     rows = a.rows
     out = np.zeros((rows, spec.words), dtype=np.uint32)
+
+    if fast_path == "native64":
+        _store_uint64(out, _fold_low64(a.words) % _fold_low64(b.words))
+        negative = a.negative & out.any(axis=1)
+        return DecimalVector(spec, negative, out)
+    if fast_path == "short":
+        _, remainder = division.short_div_columns(a.words, _fold_low64(b.words))
+        _store_uint64(out, remainder)
+        negative = a.negative & out.any(axis=1)
+        return DecimalVector(spec, negative, out)
+    if fast_path is not None:
+        raise ValueError(f"unknown modulo fast path {fast_path!r}")
 
     a_fits, a64 = _fold_uint64(a.words)
     b_fits, b64 = _fold_uint64(b.words)
@@ -489,6 +520,35 @@ def _fold_uint64(words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     fits = ~words[:, 2:].any(axis=1) if width > 2 else np.ones(rows, dtype=bool)
     values = words[:, 0].astype(np.uint64) | (words[:, 1].astype(np.uint64) << _SHIFT64)
     return fits, values
+
+
+def _fold_low64(words: np.ndarray) -> np.ndarray:
+    """Fold the low (up to) two limbs into uint64, no fits mask.
+
+    Only sound when a static range proof guarantees the upper limbs are
+    zero -- the fast-path callers' contract.
+    """
+    values = words[:, 0].astype(np.uint64)
+    if words.shape[1] > 1:
+        values |= words[:, 1].astype(np.uint64) << _SHIFT64
+    return values
+
+
+def _store_uint64(out: np.ndarray, values: np.ndarray) -> None:
+    """Write uint64 results into the first <=2 limbs of every row."""
+    out[:, 0] = (values & _MASK64).astype(np.uint32)
+    if out.shape[1] >= 2:
+        out[:, 1] = (values >> _SHIFT64).astype(np.uint32)
+
+
+def _prescale_magnitudes(words: np.ndarray, prescale: int, rows: int) -> np.ndarray:
+    """Widen and multiply dividend magnitudes by ``10**prescale``."""
+    factor = 10**prescale
+    factor_words = np.asarray(
+        w.from_int(factor, w.pow10_words_needed(prescale)), dtype=np.uint32
+    )
+    wide = words.shape[1] + factor_words.shape[0]
+    return _mul_magnitudes(words, np.tile(factor_words, (rows, 1)), wide)
 
 
 def _scatter_uint64(out: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:

@@ -43,6 +43,9 @@ class _Emitter:
         self._next_register = 0
         self._live_words = 0
         self.peak_words = 0
+        #: Release schedule for the lifetime analyzer: register id -> index
+        #: of the last instruction emitted before it went back to the pool.
+        self.released_after: Dict[int, int] = {}
         #: Column-load CSE: each referenced column is loaded exactly once
         #: (Listing 1 declares one register variable per column).
         self._column_registers: Dict[str, int] = {}
@@ -79,6 +82,7 @@ class _Emitter:
         if spec is not None:
             self._live_words -= spec.words
             del self._register_specs[register]
+            self.released_after[register] = len(self.instructions) - 1
 
     def emit(self, node: Expr) -> int:
         if node.spec is None:
@@ -206,6 +210,7 @@ def generate_kernel(
         result_spec=expr.spec,
         register_words=emitter.peak_words,
         tpi=tpi,
+        released_after=dict(emitter.released_after),
     )
     kernel.source = render_source(kernel)
     return kernel
@@ -248,12 +253,17 @@ def render_source(kernel: ir.KernelIR) -> str:
         elif isinstance(instruction, ir.MulOp):
             lines.append(f"        Decimal<{lw}> r{instruction.dst} = r{instruction.a} * r{instruction.b};")
         elif isinstance(instruction, ir.DivOp):
+            note = f"  // {instruction.fast_path} fast path" if instruction.fast_path else ""
             lines.append(
                 f"        Decimal<{lw}> r{instruction.dst} = (r{instruction.a} << "
-                f"{instruction.prescale}) / r{instruction.b};"
+                f"{instruction.prescale}) / r{instruction.b};{note}"
             )
         elif isinstance(instruction, ir.ModOp):
-            lines.append(f"        Decimal<{lw}> r{instruction.dst} = r{instruction.a} % r{instruction.b};")
+            note = f"  // {instruction.fast_path} fast path" if instruction.fast_path else ""
+            lines.append(
+                f"        Decimal<{lw}> r{instruction.dst} = "
+                f"r{instruction.a} % r{instruction.b};{note}"
+            )
         elif isinstance(instruction, ir.AbsOp):
             lines.append(f"        Decimal<{lw}> r{instruction.dst} = r{instruction.src}.abs();")
         elif isinstance(instruction, ir.SignOp):

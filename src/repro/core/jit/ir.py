@@ -15,10 +15,13 @@ instruction's ``spec``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.decimal.context import DecimalSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.diagnostics import AnalysisReport
 
 
 @dataclass(frozen=True)
@@ -92,19 +95,31 @@ class MulOp(Instruction):
 
 @dataclass(frozen=True)
 class DivOp(Instruction):
-    """Division with dividend prescale (section III-B3 / III-C2)."""
+    """Division with dividend prescale (section III-B3 / III-C2).
+
+    ``fast_path`` is a statically proven size class from the range
+    analyzer: ``"native64"`` (pre-scaled dividend and divisor fit uint64 in
+    every row) or ``"short"`` (divisor fits one 32-bit word in every row).
+    ``None`` means the executor dispatches per row.
+    """
 
     a: int
     b: int
     prescale: int
+    fast_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class ModOp(Instruction):
-    """Integer modulo."""
+    """Integer modulo.
+
+    ``fast_path`` as on :class:`DivOp` (the modulo routes mirror ``div``'s
+    size classes, without the dividend prescale).
+    """
 
     a: int
     b: int
+    fast_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -158,6 +173,16 @@ class KernelIR:
     register_words: int
     source: str = ""
     tpi: int = 1
+    #: Register pool release schedule recorded by the emitter: register id
+    #: -> index of the instruction after which it was returned to the pool.
+    #: Register ids are single-assignment, so one index per id suffices.
+    #: ``None`` (hand-built kernels) disables the pool-based lifetime
+    #: checks.
+    released_after: Optional[Dict[int, int]] = None
+    #: Diagnostics attached by the JIT pipeline's analyzer run (the import
+    #: is type-checking-only to keep this module free of upward runtime
+    #: dependencies).
+    analysis: Optional["AnalysisReport"] = field(default=None, repr=False, compare=False)
 
     @property
     def bytes_read_per_tuple(self) -> int:

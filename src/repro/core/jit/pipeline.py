@@ -18,7 +18,7 @@ Optimisations can be switched off individually, which is how the Figure
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.decimal.context import DecimalSpec
 from repro.core.jit import alignment, codegen, constant_folding, nary, type_inference
@@ -44,6 +44,10 @@ class JitOptions:
     #: expression scheduling).  Off by default to stay paper-faithful; the
     #: ext_cse benchmark ablates it on the Taylor-series workload.
     subexpression_elimination: bool = False
+    #: Raise :class:`repro.errors.AnalysisError` when the static analyzer
+    #: reports errors (possible overflow, use-after-release).  Off by
+    #: default: diagnostics are attached to the kernel either way.
+    strict_analysis: bool = False
     tpi: int = 1
 
     def cache_key_part(self) -> Tuple:
@@ -53,6 +57,7 @@ class JitOptions:
             self.constant_alignment,
             self.constant_construction,
             self.subexpression_elimination,
+            self.strict_analysis,
             self.tpi,
         )
 
@@ -138,7 +143,7 @@ def optimize(expr: Expr, schema: Schema, options: JitOptions) -> Expr:
 def compile_expression(
     text: str,
     schema: Schema,
-    options: JitOptions = JitOptions(),
+    options: Optional[JitOptions] = None,
     name: str = "calc_expr",
 ) -> CompiledExpression:
     """Parse, optimise and generate a kernel for an expression string.
@@ -147,6 +152,8 @@ def compile_expression(
     ``expand_powers``) is value-oriented, so the same tree feeds the naive
     alignment count and the optimiser without defensive re-parsing.
     """
+    if options is None:
+        options = JitOptions()
     parsed = parse_expression(text)
     type_inference.infer(parsed, schema)
     naive_nary = nary.to_nary(parsed)
@@ -162,9 +169,25 @@ def compile_expression(
         runtime_constants=not options.constant_construction,
         cse=options.subexpression_elimination,
     )
+    from repro.analysis import analyze_kernel, apply_fast_paths
     from repro.core.jit.verifier import verify_kernel
 
     verify_kernel(kernel)
+    report = analyze_kernel(kernel, tree=tree)
+    if report.fast_paths and not report.has_errors:
+        # Feed the proven division facts back into the IR (and the rendered
+        # listing) so the executor skips the per-row size dispatch.
+        if apply_fast_paths(kernel, report.fast_paths):
+            kernel.source = codegen.render_source(kernel)
+    kernel.analysis = report
+    if options.strict_analysis and report.has_errors:
+        from repro.analysis import Severity
+        from repro.errors import AnalysisError
+
+        raise AnalysisError(
+            "static analysis failed:\n" + report.format(Severity.ERROR),
+            report=report,
+        )
     return CompiledExpression(
         kernel=kernel,
         tree=tree,
@@ -192,7 +215,7 @@ class KernelCache:
         self,
         text: str,
         schema: Schema,
-        options: JitOptions = JitOptions(),
+        options: Optional[JitOptions] = None,
         name: str = "calc_expr",
     ) -> Tuple[CompiledExpression, bool]:
         """Compile or fetch; returns ``(compiled, was_cached)``.
@@ -201,6 +224,8 @@ class KernelCache:
         EXPLAIN output and profiler reports, so a ``calc_expr_0`` artefact
         must never be returned for an ``agg_expr_1`` request.
         """
+        if options is None:
+            options = JitOptions()
         key = (
             text,
             name,

@@ -35,7 +35,14 @@ def infer(expr: Expr, schema: Schema) -> DecimalSpec:
         except KeyError:
             raise TypeInferenceError(f"unknown column {expr.name!r}") from None
     elif isinstance(expr, Literal):
-        expr.spec = expr.minimal_spec()
+        # Keep an already-annotated spec: constant pre-alignment (section
+        # III-D2) deliberately widens a literal beyond its minimal spec, and
+        # the pipeline re-infers after POWER expansion -- resetting here
+        # would undo the alignment and re-emit a runtime Align.  Parsed and
+        # freshly folded literals carry either no spec or the minimal one,
+        # so first-time inference is unchanged.
+        if expr.spec is None:
+            expr.spec = expr.minimal_spec()
     elif isinstance(expr, UnaryOp):
         expr.spec = infer(expr.operand, schema)
     elif isinstance(expr, FuncCall):

@@ -6,124 +6,34 @@ every register is defined before use, specs are consistent with the
 instruction semantics (alignment exponents match the scale change, binary
 operands are scale-aligned for add/sub), and exactly one result is stored.
 
-``verify_kernel`` raises :class:`~repro.errors.CodegenError` with a precise
-message on the first violation; the JIT pipeline runs it on every kernel it
-emits (cheap: linear in the instruction count).
+The checks themselves live in :mod:`repro.analysis.structure`, which
+*collects* every violation as a diagnostic instead of bailing at the first
+one.  ``verify_kernel`` is the strict front door the JIT pipeline uses: in
+its default strict mode it raises :class:`~repro.errors.CodegenError` with
+the first violation's message (cheap: linear in the instruction count);
+with ``strict=False`` it returns the full diagnostic list for callers that
+want everything at once.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import List
 
-from repro.core.decimal.context import DecimalSpec
 from repro.core.jit import ir
 from repro.errors import CodegenError
 
 
-def verify_kernel(kernel: ir.KernelIR) -> None:
-    """Structurally verify a kernel; raises CodegenError on violations."""
-    defined: Dict[int, DecimalSpec] = {}
-    stores = 0
+def verify_kernel(kernel: ir.KernelIR, strict: bool = True) -> List:
+    """Structurally verify a kernel.
 
-    def require(register: int, instruction: ir.Instruction) -> DecimalSpec:
-        if register not in defined:
-            raise CodegenError(
-                f"{type(instruction).__name__} reads undefined register r{register}"
-            )
-        return defined[register]
+    Returns the list of :class:`repro.analysis.Diagnostic` findings (empty
+    for a valid kernel).  With ``strict`` (the default) the first violation
+    raises ``CodegenError`` instead, preserving the historical fail-fast
+    contract.
+    """
+    from repro.analysis.structure import check_structure
 
-    for position, instruction in enumerate(kernel.instructions):
-        if isinstance(instruction, ir.LoadColumn):
-            if instruction.column not in kernel.input_columns:
-                raise CodegenError(
-                    f"LoadColumn references unregistered column {instruction.column!r}"
-                )
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.LoadConst):
-            if instruction.unscaled < 0:
-                raise CodegenError("LoadConst magnitude must be non-negative")
-            if not instruction.spec.fits(instruction.unscaled):
-                raise CodegenError(
-                    f"constant {instruction.unscaled} does not fit {instruction.spec}"
-                )
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.Align):
-            source = require(instruction.src, instruction)
-            if instruction.exponent <= 0:
-                raise CodegenError("Align exponent must be positive")
-            if source.scale + instruction.exponent != instruction.spec.scale:
-                raise CodegenError(
-                    f"Align scale mismatch: {source.scale} + {instruction.exponent} "
-                    f"!= {instruction.spec.scale}"
-                )
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, (ir.AddOp, ir.SubOp)):
-            left = require(instruction.a, instruction)
-            right = require(instruction.b, instruction)
-            if left.scale != right.scale or left.scale != instruction.spec.scale:
-                raise CodegenError(
-                    f"{type(instruction).__name__} operands not scale-aligned: "
-                    f"{left.scale}/{right.scale} -> {instruction.spec.scale}"
-                )
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.NegOp):
-            require(instruction.src, instruction)
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.MulOp):
-            left = require(instruction.a, instruction)
-            right = require(instruction.b, instruction)
-            if left.scale + right.scale != instruction.spec.scale:
-                raise CodegenError(
-                    f"MulOp scale mismatch: {left.scale} + {right.scale} "
-                    f"!= {instruction.spec.scale}"
-                )
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.DivOp):
-            dividend = require(instruction.a, instruction)
-            divisor = require(instruction.b, instruction)
-            if instruction.prescale != divisor.scale + 4:
-                raise CodegenError(
-                    f"DivOp prescale {instruction.prescale} != divisor scale "
-                    f"{divisor.scale} + 4"
-                )
-            if instruction.spec.scale != dividend.scale + 4:
-                raise CodegenError(
-                    f"DivOp result scale {instruction.spec.scale} != dividend "
-                    f"scale {dividend.scale} + 4"
-                )
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.ModOp):
-            left = require(instruction.a, instruction)
-            right = require(instruction.b, instruction)
-            if left.scale or right.scale or instruction.spec.scale:
-                raise CodegenError("ModOp requires integer (scale-0) operands")
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.AbsOp):
-            source = require(instruction.src, instruction)
-            if source != instruction.spec:
-                raise CodegenError("AbsOp must preserve its operand's spec")
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.SignOp):
-            require(instruction.src, instruction)
-            if instruction.spec != DecimalSpec(1, 0):
-                raise CodegenError("SignOp result must be DECIMAL(1, 0)")
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.RescaleOp):
-            require(instruction.src, instruction)
-            if instruction.mode not in ("trunc", "round", "ceil", "floor"):
-                raise CodegenError(f"unknown rescale mode {instruction.mode!r}")
-            if instruction.mode in ("ceil", "floor") and instruction.spec.scale != 0:
-                raise CodegenError("CEIL/FLOOR results must have scale 0")
-            defined[instruction.dst] = instruction.spec
-        elif isinstance(instruction, ir.StoreResult):
-            stored = require(instruction.src, instruction)
-            if stored != kernel.result_spec:
-                raise CodegenError(
-                    f"stored spec {stored} != kernel result spec {kernel.result_spec}"
-                )
-            stores += 1
-        else:
-            raise CodegenError(f"unknown instruction {type(instruction).__name__}")
-
-    if stores != 1:
-        raise CodegenError(f"kernel must store exactly one result, found {stores}")
+    findings = check_structure(kernel)
+    if strict and findings:
+        raise CodegenError(findings[0].message)
+    return findings

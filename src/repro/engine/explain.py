@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.analysis import AnalysisReport
 from repro.core.jit.pipeline import JitOptions
 from repro.engine.plan.physical import (
     AggregateOp,
@@ -54,6 +55,9 @@ class KernelPlan:
     #: stored rows, as opposed to ``estimated_ms`` which is simulated.
     data_plane_ms: Optional[float] = None
     data_plane_rows_per_s: Optional[float] = None
+    #: Static-analyzer findings for this kernel (an
+    #: ``repro.analysis.AnalysisReport``), attached by the JIT pipeline.
+    diagnostics: Optional["AnalysisReport"] = None
 
     @property
     def overlap_speedup(self) -> Optional[float]:
@@ -99,6 +103,9 @@ class ExplainResult:
                         f"      data plane (measured): {kernel.data_plane_ms:.2f} ms "
                         f"({kernel.data_plane_rows_per_s:,.0f} rows/s)"
                     )
+                if kernel.diagnostics is not None and kernel.diagnostics.diagnostics:
+                    for diagnostic in kernel.diagnostics.diagnostics:
+                        lines.append(f"      {diagnostic.format()}")
                 if with_source:
                     lines.append("      " + kernel.source.replace("\n", "\n      "))
         lines.append(f"  estimated compile: {self.estimated_compile_ms:.0f} ms")
@@ -150,6 +157,7 @@ def explain_query(
             alignments_after=compiled.alignments_after,
             estimated_ms=estimate.seconds * 1e3,
             source=compiled.kernel.source,
+            diagnostics=compiled.kernel.analysis,
         )
         if streaming is not None and streaming.enabled:
             fresh = [

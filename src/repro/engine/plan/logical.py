@@ -7,6 +7,7 @@ at physical planning time).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -128,7 +129,7 @@ def _referenced_columns(query: Query, available: List[str]) -> List[str]:
         for name in available:
             if _mentions(text, name):
                 mentioned.add(name)
-    for predicate in query.where:
+    for predicate in list(query.where) + list(query.having):
         mentioned.add(predicate.column)
         if predicate.column_rhs is not None:
             mentioned.add(predicate.column_rhs)
@@ -140,6 +141,4 @@ def _referenced_columns(query: Query, available: List[str]) -> List[str]:
 
 
 def _mentions(text: str, name: str) -> bool:
-    import re
-
     return re.search(rf"\b{re.escape(name)}\b", text) is not None

@@ -61,7 +61,7 @@ class Database:
         simulate_rows: Optional[int] = None,
         device: GpuDevice = DEFAULT_DEVICE,
         host: HostSystem = DEFAULT_HOST,
-        jit_options: JitOptions = None,
+        jit_options: Optional[JitOptions] = None,
         aggregation_tpi: int = 8,
         streaming: Optional[StreamingConfig] = None,
     ):

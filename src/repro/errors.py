@@ -43,6 +43,19 @@ class CodegenError(ExpressionError):
     """Kernel code generation failed."""
 
 
+class AnalysisError(ExpressionError):
+    """The kernel IR static analyzer found errors in strict mode.
+
+    Carries the offending :class:`repro.analysis.AnalysisReport` as
+    ``report`` so callers can inspect every diagnostic, not just the
+    rendered message.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class GpuSimError(ReproError):
     """Base class for GPU-simulator errors."""
 

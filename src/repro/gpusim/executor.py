@@ -86,10 +86,18 @@ def execute(
             value = vz.mul(registers[instruction.a], registers[instruction.b])
             registers[instruction.dst] = value.with_spec(instruction.spec)
         elif isinstance(instruction, ir.DivOp):
-            value = vz.div(registers[instruction.a], registers[instruction.b])
+            value = vz.div(
+                registers[instruction.a],
+                registers[instruction.b],
+                fast_path=instruction.fast_path,
+            )
             registers[instruction.dst] = _coerce_container(value, instruction.spec)
         elif isinstance(instruction, ir.ModOp):
-            value = vz.mod(registers[instruction.a], registers[instruction.b])
+            value = vz.mod(
+                registers[instruction.a],
+                registers[instruction.b],
+                fast_path=instruction.fast_path,
+            )
             registers[instruction.dst] = value.with_spec(instruction.spec)
         elif isinstance(instruction, ir.AbsOp):
             registers[instruction.dst] = vz.absolute(registers[instruction.src])

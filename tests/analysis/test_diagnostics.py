@@ -1,0 +1,53 @@
+"""Tests for the diagnostics framework (severities, reports, formatting)."""
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+
+
+class TestDiagnostic:
+    def test_format_with_instruction(self):
+        diagnostic = Diagnostic(
+            "RANGE001", Severity.ERROR, "register overflows", kernel="calc", instruction=3
+        )
+        assert diagnostic.format() == "error[RANGE001] calc[3]: register overflows"
+
+    def test_format_kernel_level(self):
+        diagnostic = Diagnostic("LIFE005", Severity.WARNING, "peak mismatch", kernel="calc")
+        assert diagnostic.format() == "warning[LIFE005] calc: peak mismatch"
+
+    def test_format_without_kernel_name(self):
+        diagnostic = Diagnostic("SCHED001", Severity.INFO, "note")
+        assert diagnostic.format().startswith("info[SCHED001] <kernel>:")
+
+
+class TestAnalysisReport:
+    def _report(self):
+        report = AnalysisReport(kernel="k")
+        report.add("RANGE001", Severity.ERROR, "overflow", instruction=1)
+        report.add("RANGE002", Severity.WARNING, "wide", instruction=2)
+        report.add("RANGE004", Severity.INFO, "fast", instruction=3)
+        report.add("RANGE002", Severity.WARNING, "wide again", instruction=4)
+        return report
+
+    def test_severity_buckets(self):
+        report = self._report()
+        assert [d.rule for d in report.errors] == ["RANGE001"]
+        assert [d.rule for d in report.warnings] == ["RANGE002", "RANGE002"]
+        assert [d.rule for d in report.infos] == ["RANGE004"]
+        assert report.has_errors
+
+    def test_collects_all_instead_of_bailing(self):
+        assert len(self._report().diagnostics) == 4
+
+    def test_rules_are_distinct_in_order(self):
+        assert self._report().rules() == ["RANGE001", "RANGE002", "RANGE004"]
+
+    def test_format_min_severity_filters(self):
+        report = self._report()
+        assert len(report.format(Severity.INFO).splitlines()) == 4
+        assert len(report.format(Severity.WARNING).splitlines()) == 3
+        assert len(report.format(Severity.ERROR).splitlines()) == 1
+
+    def test_empty_report(self):
+        report = AnalysisReport(kernel="k")
+        assert not report.has_errors
+        assert report.rules() == []

@@ -1,0 +1,32 @@
+"""Tests for the repo-wide analysis sweep (``python -m repro.analysis``)."""
+
+from repro.analysis.sweep import iter_workload_kernels, main, run_sweep
+
+
+class TestIteration:
+    def test_figure1_yields_both_configurations(self):
+        swept = list(iter_workload_kernels(["figure1"]))
+        assert {item.workload for item in swept} == {
+            "figure1/low-p",
+            "figure1/high-p",
+        }
+        for item in swept:
+            assert item.report.kernel == item.kernel
+            assert not item.report.has_errors
+
+
+class TestGate:
+    def test_figure1_sweep_is_clean(self, capsys):
+        assert run_sweep(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: every workload kernel is provably overflow-free" in out
+
+    def test_cli_entry_point(self, capsys):
+        assert main(["--workload", "figure1", "--min-severity", "error"]) == 0
+        assert "analyzed" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_workload(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["--workload", "nonsense"])

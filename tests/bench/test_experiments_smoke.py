@@ -94,8 +94,18 @@ class TestSmoke:
 
     def test_ext_hotpath(self):
         experiment = ext_hotpath.run(rows=600, lengths=(1, 8), repeats=1)
-        assert len(experiment.rows) == 8  # 4 kernels x 2 widths
+        # 4 kernels x 2 widths, plus the statically-routed division cells
+        # (native64 at LEN 1, short at LEN 8).
+        assert len(experiment.rows) == 10
+        assert {row[0] for row in experiment.rows} >= {
+            "div[static:native64]",
+            "div[static:short]",
+        }
         # Bit-exactness is asserted inside run(); the smoke run only needs
-        # the vectorised path to not lose to the row loop.
-        assert all(row[5] >= 1.0 for row in experiment.rows)
+        # the vectorised path to not lose to the row loop.  The static
+        # division cells race the already-vectorised dynamic dispatcher, so
+        # their margin is thin at 600 rows: allow timer noise there.
+        for row in experiment.rows:
+            floor = 0.9 if row[0].startswith("div[static:") else 1.0
+            assert row[5] >= floor, row
         assert all(row[6] for row in experiment.rows)

@@ -80,3 +80,39 @@ class TestColumnComparisons:
         assert result.scalar.unscaled == 1
         equal = database.execute("SELECT COUNT(*) FROM t WHERE a = b")
         assert equal.scalar.unscaled == 1
+
+
+class TestHavingColumnReferences:
+    """Regression: HAVING predicates must contribute to the scanned columns.
+
+    ``_referenced_columns`` used to skip ``query.having``, so a column
+    mentioned only in HAVING was dropped from the scan list.  Group keys
+    masked the bug end-to-end (GROUP BY re-adds them), so pin the contract
+    at both levels.
+    """
+
+    def test_having_only_column_survives_to_the_scan(self):
+        from repro.engine.plan.logical import LogicalScan, build_logical_plan
+        from repro.engine.sql.ast_nodes import (
+            AggregateCall,
+            Comparison,
+            Query,
+            SelectItem,
+        )
+
+        query = Query(
+            select_items=[SelectItem(AggregateCall("SUM", "amount"), alias="total")],
+            table="sales",
+            having=[Comparison("cost", ">", 1)],
+        )
+        node = build_logical_plan(query, ["region", "amount", "cost"])
+        while not isinstance(node, LogicalScan):
+            node = node.child
+        assert "cost" in node.columns
+
+    def test_having_over_non_selected_group_key(self, db):
+        result = db.execute(
+            "SELECT SUM(amount) AS total FROM sales "
+            "GROUP BY region HAVING region = 'EU'"
+        )
+        assert [str(t) for (t,) in result.rows] == ["30.00"]

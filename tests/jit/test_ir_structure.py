@@ -1,0 +1,73 @@
+"""IR-level tests: constant-folding identities and n-ary sum scheduling.
+
+These pin the *shape* of the emitted kernel IR, not just its results: the
+identities must vanish before emission and the alignment scheduler must
+order n-ary sums so the running scale climbs monotonically.
+"""
+
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.core.jit import ir
+from repro.core.jit.pipeline import JitOptions, compile_expression
+
+SCHEMA = {"a": DecimalSpec(10, 2), "b": DecimalSpec(8, 1)}
+
+
+class TestConstantFoldingIdentities:
+    @pytest.mark.parametrize("expression", ["0 + a", "a + 0", "1 * a", "a * 1", "+a"])
+    def test_identity_collapses_to_bare_column(self, expression):
+        compiled = compile_expression(expression, SCHEMA)
+        assert compiled.tree.to_sql() == "a"
+        assert [type(i).__name__ for i in compiled.kernel.instructions] == [
+            "LoadColumn",
+            "StoreResult",
+        ]
+
+    def test_identity_result_spec_matches_bare_column(self):
+        folded = compile_expression("1 * a", SCHEMA)
+        bare = compile_expression("a", SCHEMA)
+        assert folded.kernel.result_spec == bare.kernel.result_spec
+
+    def test_constant_subexpressions_fold_to_one_load(self):
+        compiled = compile_expression("a + 2 * 3 + 4", SCHEMA)
+        assert compiled.kernel.count(ir.MulOp) == 0
+        # 2*3+4 folds into a single pre-aligned constant.
+        assert compiled.kernel.count(ir.LoadConst) == 1
+
+    def test_folding_keeps_zero_elimination_sound_for_subtraction(self):
+        compiled = compile_expression("a - 0", SCHEMA)
+        assert compiled.kernel.count(ir.SubOp) == 0
+
+
+class TestNarySumScheduling:
+    SCALES = {"a": DecimalSpec(8, 0), "b": DecimalSpec(8, 0), "c": DecimalSpec(8, 4)}
+
+    def test_scheduler_minimises_alignments(self):
+        scheduled = compile_expression("a + c + b", self.SCALES)
+        unscheduled = compile_expression(
+            "a + c + b", self.SCALES, JitOptions(alignment_scheduling=False)
+        )
+        # Sorted order (a, b, c) aligns once: the two scale-0 terms add
+        # first, then the partial sum aligns up to c's scale.  Source
+        # order (a, c, b) aligns a up immediately and then b as well.
+        assert scheduled.kernel.alignment_ops() == 1
+        assert unscheduled.kernel.alignment_ops() == 2
+
+    def test_scheduled_terms_climb_by_effective_scale(self):
+        compiled = compile_expression("c + a + b", self.SCALES)
+        loads = [
+            i for i in compiled.kernel.instructions if isinstance(i, ir.LoadColumn)
+        ]
+        assert [load.spec.scale for load in loads] == sorted(
+            load.spec.scale for load in loads
+        )
+
+    def test_scheduling_preserves_instruction_count_for_uniform_scales(self):
+        uniform = {name: DecimalSpec(8, 2) for name in ("a", "b", "c")}
+        scheduled = compile_expression("a + b + c", uniform)
+        unscheduled = compile_expression(
+            "a + b + c", uniform, JitOptions(alignment_scheduling=False)
+        )
+        assert len(scheduled.kernel.instructions) == len(unscheduled.kernel.instructions)
+        assert scheduled.kernel.alignment_ops() == 0

@@ -132,3 +132,37 @@ class TestRejectsBrokenKernels:
         kernel.result_spec = DecimalSpec(30, 5)
         with pytest.raises(CodegenError, match="result spec"):
             verify_kernel(kernel)
+
+
+class TestCollectAllFindings:
+    def multi_problem_kernel(self):
+        spec = DecimalSpec(6, 1)
+        return ir.KernelIR(
+            name="bad",
+            expression_sql="<multi>",
+            instructions=[
+                ir.LoadConst(0, DecimalSpec(2, 0), False, 9999),  # does not fit
+                ir.LoadColumn(1, spec, "ghost"),  # column not in input_columns
+                ir.NegOp(2, spec, 7),  # register 7 never defined
+                ir.StoreResult(2, spec, 2),
+            ],
+            input_columns={"a": spec},
+            result_spec=spec,
+            register_words=4,
+        )
+
+    def test_non_strict_collects_every_finding(self):
+        findings = verify_kernel(self.multi_problem_kernel(), strict=False)
+        rules = {finding.rule for finding in findings}
+        assert {"STRUCT001", "STRUCT002", "STRUCT003"} <= rules
+        assert all(finding.severity.name == "ERROR" for finding in findings)
+
+    def test_strict_raises_the_first_finding(self):
+        kernel = self.multi_problem_kernel()
+        first = verify_kernel(kernel, strict=False)[0]
+        with pytest.raises(CodegenError) as excinfo:
+            verify_kernel(kernel)
+        assert str(excinfo.value) == first.message
+
+    def test_valid_kernel_returns_no_findings(self):
+        assert verify_kernel(valid_kernel(), strict=False) == []
