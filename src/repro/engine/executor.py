@@ -28,6 +28,7 @@ def run_plan(chain: List[PhysicalOp], context: QueryContext) -> Batch:
             context.report.pcie_seconds += gpu_timing.pcie_time(
                 int(leftover), context.device
             )
+            context.report.pcie_bytes += leftover
     context.report.pipeline_seconds += (
         len(chain) * OPERATOR_OVERHEAD_SECONDS * (context.simulate_rows / 10_000_000)
     )

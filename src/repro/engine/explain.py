@@ -9,17 +9,20 @@ estimate), and the end-to-end simulated cost estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.analysis import AnalysisReport
 from repro.core.jit.pipeline import JitOptions
+from repro.engine.plan.cost import CostModel, OptimizerConfig
 from repro.engine.plan.physical import (
     AggregateOp,
+    DropOp,
     FilterOp,
     GroupAggregateOp,
     HashJoinOp,
     LimitOp,
+    NestedLoopJoinOp,
     PhysicalOp,
     ProjectOp,
     ScanOp,
@@ -76,11 +79,23 @@ class ExplainResult:
     estimated_compile_ms: float
     estimated_total_ms: float
     simulate_rows: int
+    #: Rewrite-rule trace (one formatted line per firing) and the
+    #: cost-based physical choices the planner made.
+    rewrites: List[str] = field(default_factory=list)
+    choices: List[str] = field(default_factory=list)
 
     def format(self, with_source: bool = False) -> str:
         lines = [f"EXPLAIN (simulated at {self.simulate_rows:,} tuples)"]
         for index, operator in enumerate(self.operators):
             lines.append(f"  {'-> ' * min(index, 1)}{operator}")
+        if self.rewrites:
+            lines.append("  rewrites:")
+            for rewrite in self.rewrites:
+                lines.append(f"    {rewrite}")
+        if self.choices:
+            lines.append("  choices:")
+            for choice in self.choices:
+                lines.append(f"    {choice}")
         if self.kernels:
             lines.append("  kernels:")
             for kernel in self.kernels:
@@ -123,6 +138,8 @@ def explain_query(
     joined=None,
     streaming: Optional[StreamingConfig] = None,
     measure_data_plane: bool = False,
+    cost_model: Optional[CostModel] = None,
+    optimizer: Optional[OptimizerConfig] = None,
 ) -> ExplainResult:
     """Build an ExplainResult from a planned query.
 
@@ -136,6 +153,12 @@ def explain_query(
     schema = relation.decimal_schema()
     for joined_relation in (joined or {}).values():
         schema.update(joined_relation.decimal_schema())
+    # Bare references to *any* stored column (not just DECIMALs) pass
+    # through the executor without a kernel; EXPLAIN must not try to
+    # JIT-compile them.
+    stored_columns = set(relation.column_names)
+    for joined_relation in (joined or {}).values():
+        stored_columns.update(joined_relation.column_names)
     operators: List[str] = []
     kernels: List[KernelPlan] = []
     # Mirrors the executor's residency tracking: only a column's first
@@ -144,7 +167,7 @@ def explain_query(
 
     def add_kernel(text: str, name: str) -> None:
         bare = text.strip()
-        if bare in schema or bare == "*":
+        if bare in schema or bare in stored_columns or bare == "*":
             return  # bare columns need no kernel
         compiled = compile_expression(text, schema, jit_options, name=name)
         estimate = gpu_timing.kernel_time(compiled.kernel, simulate_rows, device)
@@ -169,10 +192,19 @@ def explain_query(
             transfer_bytes = simulate_rows * sum(
                 compiled.kernel.input_columns[column].compact_bytes for column in fresh
             )
+            if cost_model is not None and optimizer is not None and optimizer.choose_streaming:
+                # Mirror the executor's cost-based chunk choice.
+                chunk_rows = cost_model.choose_chunk_rows(
+                    compiled.kernel, simulate_rows, streaming, transfer_bytes
+                )
+            else:
+                chunk_rows = streaming.resolve_chunk_rows(
+                    compiled.kernel, device, simulate_rows
+                )
             timing = stream_timing(
                 compiled.kernel,
                 simulate_rows,
-                streaming.resolve_chunk_rows(compiled.kernel, device, simulate_rows),
+                chunk_rows,
                 device,
                 transfer_bytes=transfer_bytes,
             )
@@ -184,7 +216,7 @@ def explain_query(
             for column in compiled.kernel.input_columns:
                 source = relation
                 for joined_relation in (joined or {}).values():
-                    if column in joined_relation.column_names():
+                    if column in joined_relation.column_names:
                         source = joined_relation
                         break
                 inputs[column] = source.column(column).data
@@ -201,27 +233,29 @@ def explain_query(
         kernels.append(plan)
 
     for op in chain:
+        line: Optional[str] = None
         if isinstance(op, ScanOp):
-            operators.append(f"Scan {relation.name} [{', '.join(op.columns)}]")
+            line = f"Scan {relation.name} [{', '.join(op.columns)}]"
         elif isinstance(op, FilterOp):
-            predicates = " AND ".join(str(p) for p in op.predicates)
-            operators.append(f"Filter [{predicates}]")
+            if op.always_false:
+                line = "Filter [FALSE]"
+            else:
+                predicates = " AND ".join(str(p) for p in op.predicates)
+                line = f"Filter [{predicates}]"
         elif isinstance(op, ProjectOp):
-            operators.append(
-                "Project (JIT) [" + ", ".join(str(i.expression) for i in op.items) + "]"
-            )
+            line = "Project (JIT) [" + ", ".join(str(i.expression) for i in op.items) + "]"
+            if op.carry:
+                line += f" carry [{', '.join(op.carry)}]"
             for index, item in enumerate(op.items):
                 add_kernel(item.expression, f"calc_expr_{index}")
         elif isinstance(op, AggregateOp):
-            operators.append(
-                "Aggregate [" + ", ".join(str(i.expression) for i in op.items) + "]"
-            )
+            line = "Aggregate [" + ", ".join(str(i.expression) for i in op.items) + "]"
             for index, item in enumerate(op.items):
                 call = item.expression
                 if isinstance(call, AggregateCall) and call.function != "COUNT":
                     add_kernel(call.argument, f"agg_expr_{index}")
         elif isinstance(op, GroupAggregateOp):
-            operators.append(
+            line = (
                 f"GroupAggregate keys=[{', '.join(op.group_by)}] "
                 "[" + ", ".join(str(i.expression) for i in op.items) + "]"
             )
@@ -230,18 +264,26 @@ def explain_query(
                 if isinstance(call, AggregateCall) and call.function != "COUNT":
                     add_kernel(call.argument, f"agg_expr_{index}")
         elif isinstance(op, SortOp):
-            operators.append(
-                "Sort [" + ", ".join(
-                    f"{k.column} {'ASC' if k.ascending else 'DESC'}" for k in op.keys
-                ) + "]"
-            )
-        elif isinstance(op, HashJoinOp):
-            operators.append(
-                f"HashJoin {op.join.table} "
+            line = "Sort [" + ", ".join(
+                f"{k.column} {'ASC' if k.ascending else 'DESC'}" for k in op.keys
+            ) + "]"
+        elif isinstance(op, (HashJoinOp, NestedLoopJoinOp)):
+            algorithm = "HashJoin" if isinstance(op, HashJoinOp) else "NestedLoopJoin"
+            line = (
+                f"{algorithm} {op.join.table} "
                 f"[{op.join.left_column} = {op.join.right_column}]"
             )
+            if op.right_predicates:
+                built = " AND ".join(str(p) for p in op.right_predicates)
+                line += f" build-filter [{built}]"
+        elif isinstance(op, DropOp):
+            line = f"Drop [{', '.join(op.columns)}]"
         elif isinstance(op, LimitOp):
-            operators.append(f"Limit [{op.count}]")
+            line = f"Limit [{op.count}]"
+        if line is not None:
+            if op.estimated is not None:
+                line += f" {op.estimated.format()}"
+            operators.append(line)
 
     # Reuse the compile-time model on the actual kernel set.
     compile_seconds = 0.0
@@ -265,4 +307,6 @@ def explain_query(
         estimated_compile_ms=compile_seconds * 1e3,
         estimated_total_ms=total_ms,
         simulate_rows=simulate_rows,
+        rewrites=[event.format() for event in getattr(chain, "events", [])],
+        choices=list(getattr(chain, "choices", [])),
     )

@@ -30,17 +30,33 @@ class LogicalScan(LogicalNode):
 @dataclass
 class LogicalJoin(LogicalNode):
     join: Join
-    right_columns: List[str]  # the joined table's columns the query needs
+    right_columns: List[str]  # the joined table's columns shipped to the device
+    #: WHERE conjuncts pushed into the build side: evaluated while the
+    #: joined table is scanned, so only surviving rows cross PCIe.
+    right_predicates: List[Comparison] = field(default_factory=list)
 
 
 @dataclass
 class LogicalFilter(LogicalNode):
     predicates: List[Comparison]
+    #: Set when predicate merging proved the conjuncts unsatisfiable: the
+    #: filter yields zero rows without evaluating anything.
+    always_false: bool = False
 
 
 @dataclass
 class LogicalProject(LogicalNode):
     items: List[SelectItem]
+    #: Columns carried through the projection unselected (ORDER BY keys not
+    #: in the SELECT list); a LogicalDrop above the sort removes them.
+    carry: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LogicalDrop(LogicalNode):
+    """Remove carried columns once their consumer (the sort) has run."""
+
+    columns: List[str]
 
 
 @dataclass
@@ -119,6 +135,27 @@ def build_logical_plan(
         limit_node.child = node
         node = limit_node
     return node
+
+
+def chain_to_list(root: LogicalNode) -> List[LogicalNode]:
+    """Flatten a logical chain into bottom-up (scan-first) order."""
+    nodes: List[LogicalNode] = []
+    node: Optional[LogicalNode] = root
+    while node is not None:
+        nodes.append(node)
+        node = node.child
+    nodes.reverse()
+    return nodes
+
+
+def list_to_chain(nodes: List[LogicalNode]) -> LogicalNode:
+    """Re-link a bottom-up node list into a chain; returns the root."""
+    previous: Optional[LogicalNode] = None
+    for node in nodes:
+        node.child = previous
+        previous = node
+    assert previous is not None
+    return previous
 
 
 def _referenced_columns(query: Query, available: List[str]) -> List[str]:

@@ -21,6 +21,7 @@ from repro.core.decimal.value import DecimalValue
 from repro.core.decimal.vectorized import DecimalVector
 from repro.core.jit.pipeline import JitOptions, KernelCache
 from repro.core.multithread import aggregation as mt_aggregation
+from repro.engine.plan.cost import CostEstimate, CostModel, OptimizerConfig
 from repro.engine.sql.ast_nodes import AggregateCall, Comparison, OrderKey, SelectItem
 from repro.errors import ExecutionError, PlanningError
 from repro.gpusim import executor as gpu_executor
@@ -68,6 +69,10 @@ class ExecutionReport:
 
     scan_seconds: float = 0.0
     pcie_seconds: float = 0.0
+    #: Simulated bytes behind the scan/PCIe charges above -- the volume the
+    #: rewrite rules (build-side pushdown, projection pruning) reduce.
+    scan_bytes: float = 0.0
+    pcie_bytes: float = 0.0
     compile_seconds: float = 0.0
     kernel_seconds: float = 0.0
     filter_seconds: float = 0.0
@@ -159,6 +164,11 @@ class QueryContext:
     #: compute, and :func:`repro.engine.executor.run_plan` flushes whatever
     #: no kernel consumed as a plain serial transfer.
     pending_transfer: Dict[str, float] = field(default_factory=dict)
+    #: Cost model for runtime physical choices (stream chunk sizing); None
+    #: reproduces the un-costed behaviour.
+    cost_model: Optional["CostModel"] = None
+    #: Which optimizer stages are active for this query.
+    optimizer: "OptimizerConfig" = field(default_factory=lambda: OptimizerConfig.off())
     report: ExecutionReport = field(default_factory=ExecutionReport)
 
 
@@ -167,6 +177,10 @@ OutputValue = Union[DecimalValue, int, float, str]
 
 class PhysicalOp:
     """Base class: transforms a batch and charges the report."""
+
+    #: Planner-attached :class:`~repro.engine.plan.cost.CostEstimate` for
+    #: EXPLAIN display; ``None`` when the query planned without costing.
+    estimated: Optional["CostEstimate"] = None
 
     def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
         raise NotImplementedError
@@ -185,6 +199,7 @@ class ScanOp(PhysicalOp):
         simulated_bytes = int(bytes_per_real * scale)
         if context.include_scan:
             context.report.scan_seconds += gpu_timing.disk_scan_time(simulated_bytes, context.host)
+            context.report.scan_bytes += simulated_bytes
         if context.include_transfer:
             if context.streaming.enabled:
                 # Defer the H2D copy: the first kernel touching each column
@@ -198,6 +213,7 @@ class ScanOp(PhysicalOp):
                 context.report.pcie_seconds += gpu_timing.pcie_time(
                     simulated_bytes, context.device
                 )
+                context.report.pcie_bytes += simulated_bytes
         columns = {name: relation.column(name) for name in self.columns}
         context.report.simulated_rows = context.simulate_rows
         return Batch(columns=columns, rows=relation.rows, simulated_rows=float(context.simulate_rows))
@@ -206,11 +222,21 @@ class ScanOp(PhysicalOp):
 class FilterOp(PhysicalOp):
     """Apply WHERE conjuncts; selectivity scales the simulated row count."""
 
-    def __init__(self, predicates: List[Comparison]):
+    def __init__(self, predicates: List[Comparison], always_false: bool = False):
         self.predicates = predicates
+        #: Plan-time proof that the conjuncts are unsatisfiable (set by the
+        #: predicate-simplify rule): no kernel runs, the batch just empties.
+        self.always_false = always_false
 
     def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
         assert batch is not None
+        if self.always_false:
+            empty = np.empty(0, dtype=np.int64)
+            return Batch(
+                columns={name: column.take(empty) for name, column in batch.columns.items()},
+                rows=0,
+                simulated_rows=0.0,
+            )
         mask = np.ones(batch.rows, dtype=bool)
         for predicate in self.predicates:
             if predicate.column_rhs is not None:
@@ -223,9 +249,13 @@ class FilterOp(PhysicalOp):
                 mask &= _evaluate_predicate(batch.column(predicate.column), predicate)
         indices = np.nonzero(mask)[0]
         selectivity = len(indices) / max(batch.rows, 1)
-        # Filter kernel: one pass over the predicate columns.
+        # Filter kernel: one pass over each *distinct* predicate column --
+        # a column named by several conjuncts is still read only once.
+        predicate_columns = {p.column for p in self.predicates}
+        predicate_columns.update(p.column_rhs for p in self.predicates if p.column_rhs)
         predicate_bytes = sum(
-            batch.column(p.column).bytes_stored / max(batch.rows, 1) for p in self.predicates
+            batch.column(name).bytes_stored / max(batch.rows, 1)
+            for name in predicate_columns
         )
         traffic = predicate_bytes * batch.simulated_rows
         context.report.filter_seconds += traffic / (
@@ -238,35 +268,126 @@ class FilterOp(PhysicalOp):
         )
 
 
-class HashJoinOp(PhysicalOp):
-    """Inner equi-join: hash-build on the joined table, probe the batch.
+class _JoinOp(PhysicalOp):
+    """Shared right-side handling for the inner equi-join algorithms.
 
     The joined relation is scanned and shipped over PCIe like any other
-    input; the simulated cost covers the scan/transfer, one build pass over
-    the right side, and one probe pass over the left batch.
+    input.  Build-side predicates (sunk here by the filter-pushdown rule)
+    are evaluated *during* that scan -- the evaluation rides the far
+    slower disk read, so it charges no extra kernel time -- and only the
+    surviving rows' ship columns cross PCIe.  Filtering the build side
+    before the join is equivalent to joining then filtering for an inner
+    join, and the output keeps the same left-major, right-scan order, so
+    results stay bit-exact.
     """
 
-    def __init__(self, join, right_columns: List[str]):
+    def __init__(
+        self,
+        join,
+        right_columns: List[str],
+        right_predicates: Optional[List[Comparison]] = None,
+    ):
         self.join = join
         self.right_columns = right_columns
+        self.right_predicates = list(right_predicates or [])
 
-    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
-        assert batch is not None
+    def _prepare_right(self, context: QueryContext):
+        """Scan/filter/ship the right side; returns (relation, keep, sim_rows)."""
         try:
             right_relation = context.joined[self.join.table]
         except KeyError:
             raise ExecutionError(f"joined relation {self.join.table!r} missing") from None
-
-        # Scan + transfer the right side (same cost treatment as ScanOp).
         right_scale = context.simulate_rows / max(right_relation.rows, 1)
-        right_bytes = int(right_relation.bytes_for(self.right_columns) * right_scale)
+
+        keep: Optional[np.ndarray] = None
+        survival = 1.0
+        if self.right_predicates:
+            mask = np.ones(right_relation.rows, dtype=bool)
+            for predicate in self.right_predicates:
+                if predicate.column_rhs is not None:
+                    mask &= _evaluate_column_predicate(
+                        right_relation.column(predicate.column),
+                        predicate.op,
+                        right_relation.column(predicate.column_rhs),
+                    )
+                else:
+                    mask &= _evaluate_predicate(
+                        right_relation.column(predicate.column), predicate
+                    )
+            keep = np.nonzero(mask)[0]
+            survival = len(keep) / max(right_relation.rows, 1)
+
+        # The scan reads ship + predicate columns; PCIe carries only the
+        # ship columns of rows that survived the build-side predicates.
+        scan_columns = list(self.right_columns)
+        for predicate in self.right_predicates:
+            for name in (predicate.column, predicate.column_rhs):
+                if name is not None and name not in scan_columns:
+                    scan_columns.append(name)
+        scanned_bytes = int(right_relation.bytes_for(scan_columns) * right_scale)
+        ship_bytes = int(
+            right_relation.bytes_for(self.right_columns) * right_scale * survival
+        )
         if context.include_scan:
-            context.report.scan_seconds += gpu_timing.disk_scan_time(right_bytes, context.host)
+            context.report.scan_seconds += gpu_timing.disk_scan_time(
+                scanned_bytes, context.host
+            )
+            context.report.scan_bytes += scanned_bytes
         if context.include_transfer:
-            context.report.pcie_seconds += gpu_timing.pcie_time(right_bytes, context.device)
+            context.report.pcie_seconds += gpu_timing.pcie_time(ship_bytes, context.device)
+            context.report.pcie_bytes += ship_bytes
+
+        sim_right = right_relation.rows * right_scale * survival
+        return right_relation, keep, sim_right
+
+    def _right_keys(self, right_relation: Relation, keep: Optional[np.ndarray]) -> List:
+        column = right_relation.column(self.join.right_column)
+        if keep is not None:
+            column = column.take(keep)
+        return _grouping_key(column)
+
+    def _emit(
+        self,
+        batch: Batch,
+        right_relation: Relation,
+        keep: Optional[np.ndarray],
+        left_indices: List[int],
+        right_indices: List[int],
+    ) -> Batch:
+        match_ratio = len(left_indices) / max(batch.rows, 1)
+        left_take = np.asarray(left_indices, dtype=np.int64)
+        right_take = np.asarray(right_indices, dtype=np.int64)
+        columns = {
+            name: column.take(left_take) for name, column in batch.columns.items()
+        }
+        for name in self.right_columns:
+            if name in columns:
+                continue  # left side wins on (unexpected) name collisions
+            column = right_relation.column(name)
+            if keep is not None:
+                column = column.take(keep)
+            columns[name] = column.take(right_take)
+        return Batch(
+            columns=columns,
+            rows=len(left_indices),
+            simulated_rows=batch.simulated_rows * match_ratio,
+        )
+
+
+class HashJoinOp(_JoinOp):
+    """Inner equi-join: hash-build on the joined table, probe the batch.
+
+    The simulated cost covers the right-side scan/transfer, one build pass
+    over the right side, and one probe pass over the left batch, both at
+    hash-table (random access) bandwidth.
+    """
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        right_relation, keep, sim_right = self._prepare_right(context)
 
         left_keys = _grouping_key(batch.column(self.join.left_column))
-        right_keys = _grouping_key(right_relation.column(self.join.right_column))
+        right_keys = self._right_keys(right_relation, keep)
 
         build: Dict = {}
         for row, key in enumerate(right_keys):
@@ -279,36 +400,53 @@ class HashJoinOp(PhysicalOp):
                 left_indices.append(row)
                 right_indices.append(match)
 
-        # Build + probe passes at hash-table (random access) bandwidth.
-        sim_right = right_relation.rows * right_scale
-        key_bytes = 12.0  # key + slot pointer
-        traffic = (batch.simulated_rows + sim_right) * key_bytes
-        context.report.filter_seconds += traffic / (
-            context.device.dram_bandwidth * context.device.dram_efficiency * 0.25
-        ) + context.device.kernel_launch_overhead
-
-        match_ratio = len(left_indices) / max(batch.rows, 1)
-        left_take = np.asarray(left_indices, dtype=np.int64)
-        right_take = np.asarray(right_indices, dtype=np.int64)
-        columns = {
-            name: column.take(left_take) for name, column in batch.columns.items()
-        }
-        for name in self.right_columns:
-            if name in columns:
-                continue  # left side wins on (unexpected) name collisions
-            columns[name] = right_relation.column(name).take(right_take)
-        return Batch(
-            columns=columns,
-            rows=len(left_indices),
-            simulated_rows=batch.simulated_rows * match_ratio,
+        context.report.filter_seconds += gpu_timing.hash_join_time(
+            batch.simulated_rows, sim_right, context.device
         )
+        return self._emit(batch, right_relation, keep, left_indices, right_indices)
+
+
+class NestedLoopJoinOp(_JoinOp):
+    """Inner equi-join by exhaustive comparison.
+
+    The cost model picks this over the hash join only when the build side
+    is tiny: it saves the build pass and a kernel launch at the price of
+    O(left x right) streamed key comparisons.  Matches are emitted in the
+    same left-major, right-scan order as the hash join, so the two
+    algorithms are interchangeable bit-exactly.
+    """
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        assert batch is not None
+        right_relation, keep, sim_right = self._prepare_right(context)
+
+        left_keys = _grouping_key(batch.column(self.join.left_column))
+        right_keys = self._right_keys(right_relation, keep)
+
+        left_indices: List[int] = []
+        right_indices: List[int] = []
+        for row, key in enumerate(left_keys):
+            for match, right_key in enumerate(right_keys):
+                if key == right_key:
+                    left_indices.append(row)
+                    right_indices.append(match)
+
+        context.report.filter_seconds += gpu_timing.nested_loop_join_time(
+            batch.simulated_rows, sim_right, context.device
+        )
+        return self._emit(batch, right_relation, keep, left_indices, right_indices)
 
 
 class ProjectOp(PhysicalOp):
     """Evaluate non-aggregate expressions through the JIT engine."""
 
-    def __init__(self, items: List[SelectItem]):
+    def __init__(self, items: List[SelectItem], carry: Optional[List[str]] = None):
         self.items = items
+        #: Columns retained alongside the select items (ORDER BY keys that
+        #: are not select items; the sort-key-retention rule fills this).
+        #: They stay device-resident for the sort, so they are excluded
+        #: from the result-transfer charge.
+        self.carry = list(carry or [])
 
     def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
         assert batch is not None
@@ -329,6 +467,10 @@ class ProjectOp(PhysicalOp):
                 column.bytes_stored / max(batch.rows, 1) for column in out.values()
             ) * batch.simulated_rows
             context.report.pcie_seconds += gpu_timing.pcie_time(int(result_bytes), context.device)
+            context.report.pcie_bytes += result_bytes
+        for name in self.carry:
+            if name not in out:
+                out[name] = batch.column(name)
         return Batch(columns=out, rows=batch.rows, simulated_rows=batch.simulated_rows)
 
 
@@ -509,13 +651,46 @@ class SortOp(PhysicalOp):
         for key in reversed(self.keys):
             column = batch.column(key.column)
             values = _sort_values(column)
-            ranks = np.argsort(np.asarray(values)[order], kind="stable")
+            data = np.asarray(values)[order]
+            ranks = np.argsort(data, kind="stable")
             if not key.ascending:
-                ranks = ranks[::-1]
+                # Reversing the ascending permutation would also reverse the
+                # relative order of equal keys, breaking the multi-key
+                # stability this loop depends on.  Instead, invert the sort
+                # key itself: densely rank the values (ties share a rank,
+                # which also works for non-negatable dtypes like CHAR bytes)
+                # and stable-sort on the negated ranks.
+                ranked = np.empty(len(ranks), dtype=np.int64)
+                if len(ranks):
+                    ordered = data[ranks]
+                    distinct = np.ones(len(ranks), dtype=bool)
+                    distinct[1:] = ordered[1:] != ordered[:-1]
+                    ranked[ranks] = np.cumsum(distinct) - 1
+                ranks = np.argsort(-ranked, kind="stable")
             order = order[ranks]
         context.report.sort_seconds += context.device.kernel_launch_overhead
         return Batch(
             columns={name: column.take(order) for name, column in batch.columns.items()},
+            rows=batch.rows,
+            simulated_rows=batch.simulated_rows,
+        )
+
+
+class DropOp(PhysicalOp):
+    """Remove carried helper columns once their consumer (the sort) ran."""
+
+    def __init__(self, columns: List[str]):
+        self.columns = columns
+
+    def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
+        dropped = set(self.columns)
+        assert batch is not None
+        return Batch(
+            columns={
+                name: column
+                for name, column in batch.columns.items()
+                if name not in dropped
+            },
             rows=batch.rows,
             simulated_rows=batch.simulated_rows,
         )
@@ -606,7 +781,13 @@ def _execute_streamed_kernel(
     if context.include_transfer:
         for column in kernel.input_columns:
             transfer_bytes += context.pending_transfer.pop(column, 0.0)
-    chunk_rows = context.streaming.resolve_chunk_rows(kernel, context.device, sim)
+        context.report.pcie_bytes += transfer_bytes
+    if context.cost_model is not None and context.optimizer.choose_streaming:
+        chunk_rows = context.cost_model.choose_chunk_rows(
+            kernel, sim, context.streaming, transfer_bytes
+        )
+    else:
+        chunk_rows = context.streaming.resolve_chunk_rows(kernel, context.device, sim)
     started = time.perf_counter()
     run = execute_streamed(
         kernel,
@@ -645,6 +826,7 @@ def _flush_pending_transfer(context: QueryContext, columns) -> None:
     pending = sum(context.pending_transfer.pop(name, 0.0) for name in columns)
     if pending:
         context.report.pcie_seconds += gpu_timing.pcie_time(int(pending), context.device)
+        context.report.pcie_bytes += pending
 
 
 def _evaluate_predicate(column: Column, predicate: Comparison) -> np.ndarray:

@@ -1,11 +1,32 @@
-"""Logical -> physical plan conversion."""
+"""Logical -> physical planning: rewrite rules, costing, physical choice.
+
+``plan_query`` builds the logical chain, drives the rewrite-rule engine
+(:mod:`repro.engine.plan.rules`) to a fixpoint, lowers each logical node
+to a physical operator -- choosing between physical alternatives (hash vs
+nested-loop join) with the :class:`~repro.engine.plan.cost.CostModel` --
+and annotates every operator with an ISGBD-style per-node
+:class:`~repro.engine.plan.cost.CostEstimate` for EXPLAIN.
+
+The returned :class:`PhysicalPlan` behaves like the plain operator list
+older call sites expect, and additionally carries the rewrite trace and
+the cost-based choices.
+"""
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import Iterator, List, Optional
 
+from repro.engine.plan.cost import (
+    CostEstimate,
+    CostModel,
+    OptimizerConfig,
+    PlanStats,
+    predicate_selectivity,
+)
 from repro.engine.plan.logical import (
     LogicalAggregate,
+    LogicalDrop,
     LogicalFilter,
     LogicalHaving,
     LogicalJoin,
@@ -14,60 +35,212 @@ from repro.engine.plan.logical import (
     LogicalScan,
     LogicalSort,
     build_logical_plan,
+    chain_to_list,
 )
 from repro.engine.plan.physical import (
     AggregateOp,
+    DropOp,
     FilterOp,
     GroupAggregateOp,
     HashJoinOp,
     LimitOp,
+    NestedLoopJoinOp,
     PhysicalOp,
     ProjectOp,
     ScanOp,
     SortOp,
 )
+from repro.engine.plan.rules import RewriteEvent, apply_rules, default_rules
 from repro.engine.sql.ast_nodes import Query
 from repro.errors import PlanningError
+
+#: Estimated stored bytes per row of a computed (JIT) result column when
+#: the catalog has no entry for it: a 4-word DECIMAL payload plus sign.
+ESTIMATED_RESULT_BYTES = 17.0
+
+
+class PhysicalPlan:
+    """The physical operator chain plus its planning trace.
+
+    Iterates/indexes like the plain ``List[PhysicalOp]`` the executor and
+    EXPLAIN historically consumed; ``events`` records the rewrite-rule
+    firings and ``choices`` the cost-based physical decisions.
+    """
+
+    def __init__(
+        self,
+        ops: List[PhysicalOp],
+        events: Optional[List[RewriteEvent]] = None,
+        choices: Optional[List[str]] = None,
+    ):
+        self.ops = list(ops)
+        self.events = list(events or [])
+        self.choices = list(choices or [])
+
+    def __iter__(self) -> Iterator[PhysicalOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, index):
+        return self.ops[index]
 
 
 def plan_query(
     query: Query,
     available_columns: List[str],
     joined_columns=None,
-) -> List[PhysicalOp]:
-    """Build the physical operator chain for a parsed query."""
+    *,
+    stats: Optional[PlanStats] = None,
+    optimizer: Optional[OptimizerConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> PhysicalPlan:
+    """Build the physical operator plan for a parsed query.
+
+    Without ``stats``/``optimizer``/``cost_model`` this reproduces the
+    historical fixed-shape translation (plus the always-on sort-key
+    retention pass) and annotates no costs.
+    """
+    optimizer = optimizer if optimizer is not None else OptimizerConfig.off()
     logical = build_logical_plan(query, available_columns, joined_columns)
-    chain: List[PhysicalOp] = []
-    node = logical
-    stack = []
-    while node is not None:
-        stack.append(node)
-        node = node.child
-    for logical_node in reversed(stack):
-        if isinstance(logical_node, LogicalScan):
-            chain.append(ScanOp(logical_node.columns))
-        elif isinstance(logical_node, LogicalJoin):
-            chain.append(HashJoinOp(logical_node.join, logical_node.right_columns))
-        elif isinstance(logical_node, LogicalFilter):
-            chain.append(FilterOp(logical_node.predicates))
-        elif isinstance(logical_node, LogicalAggregate):
-            if logical_node.group_by:
-                aggregates = [item for item in logical_node.aggregates if item.is_aggregate]
-                chain.append(GroupAggregateOp(logical_node.group_by, aggregates))
+    nodes = chain_to_list(logical)
+    nodes, events = apply_rules(nodes, default_rules(optimize=optimizer.rewrite), stats)
+
+    choices: List[str] = []
+    ops: List[PhysicalOp] = []
+    costed = stats is not None and cost_model is not None
+    rows = float(stats.simulate_rows) if stats is not None else 0.0
+
+    for node in nodes:
+        estimate: Optional[CostEstimate] = None
+        if isinstance(node, LogicalScan):
+            op: PhysicalOp = ScanOp(node.columns)
+            if costed:
+                estimate = cost_model.scan(stats.main.bytes_for(node.columns) * rows, rows)
+        elif isinstance(node, LogicalJoin):
+            op, estimate = _plan_join(node, rows, stats, optimizer, cost_model, choices)
+        elif isinstance(node, LogicalFilter):
+            op = FilterOp(node.predicates, always_false=node.always_false)
+            if costed:
+                if node.always_false:
+                    estimate = CostEstimate(0.0, 0.0, 0.0)
+                else:
+                    estimate = cost_model.filter(
+                        node.predicates, _predicate_bytes(node.predicates, stats), rows
+                    )
+            if node.always_false:
+                rows = 0.0
             else:
-                if not all(item.is_aggregate for item in logical_node.aggregates):
+                rows *= predicate_selectivity(node.predicates)
+        elif isinstance(node, LogicalAggregate):
+            if node.group_by:
+                aggregates = [item for item in node.aggregates if item.is_aggregate]
+                op = GroupAggregateOp(node.group_by, aggregates)
+                # Square-root rule of thumb for the distinct-group count.
+                groups = max(1.0, math.sqrt(max(rows, 1.0)))
+                if costed:
+                    key_bytes = sum(_column_bytes(stats, name) for name in node.group_by)
+                    estimate = cost_model.group_aggregate(
+                        key_bytes, ESTIMATED_RESULT_BYTES * len(aggregates), rows, groups
+                    )
+                rows = groups
+            else:
+                if not all(item.is_aggregate for item in node.aggregates):
                     raise PlanningError(
                         "mixing aggregates and bare expressions requires GROUP BY"
                     )
-                chain.append(AggregateOp(logical_node.aggregates))
-        elif isinstance(logical_node, LogicalProject):
-            chain.append(ProjectOp(logical_node.items))
-        elif isinstance(logical_node, LogicalHaving):
-            chain.append(FilterOp(logical_node.predicates))
-        elif isinstance(logical_node, LogicalSort):
-            chain.append(SortOp(logical_node.keys))
-        elif isinstance(logical_node, LogicalLimit):
-            chain.append(LimitOp(logical_node.count))
+                op = AggregateOp(node.aggregates)
+                if costed:
+                    estimate = cost_model.aggregate(
+                        ESTIMATED_RESULT_BYTES * len(node.aggregates), rows
+                    )
+                rows = 1.0
+        elif isinstance(node, LogicalProject):
+            op = ProjectOp(node.items, carry=node.carry)
+            if costed:
+                result_bytes = sum(
+                    _column_bytes(stats, str(item.expression).strip())
+                    for item in node.items
+                )
+                estimate = cost_model.project(result_bytes, rows)
+        elif isinstance(node, LogicalHaving):
+            op = FilterOp(node.predicates)
+            if costed:
+                estimate = cost_model.filter(
+                    node.predicates, _predicate_bytes(node.predicates, stats), rows
+                )
+            rows *= predicate_selectivity(node.predicates)
+        elif isinstance(node, LogicalSort):
+            op = SortOp(node.keys)
+            if costed:
+                key_bytes = sum(_column_bytes(stats, key.column) for key in node.keys)
+                estimate = cost_model.sort(key_bytes, rows)
+        elif isinstance(node, LogicalDrop):
+            op = DropOp(node.columns)
+            if costed:
+                estimate = CostEstimate(0.0, 0.0, rows)
+        elif isinstance(node, LogicalLimit):
+            op = LimitOp(node.count)
+            if costed:
+                estimate = cost_model.limit(node.count, rows)
+            rows = min(float(node.count), rows)
         else:
-            raise PlanningError(f"unknown logical node {type(logical_node).__name__}")
-    return chain
+            raise PlanningError(f"unknown logical node {type(node).__name__}")
+        op.estimated = estimate
+        ops.append(op)
+    return PhysicalPlan(ops, events, choices)
+
+
+def _plan_join(
+    node: LogicalJoin,
+    rows: float,
+    stats: Optional[PlanStats],
+    optimizer: OptimizerConfig,
+    cost_model: Optional[CostModel],
+    choices: List[str],
+):
+    """Lower one join, cost-choosing the algorithm when enabled.
+
+    The estimates keep the catalog's *relative* cardinalities (the right
+    side scales by ``simulate_rows / main.rows``) rather than the
+    execution model's uniform inflation of every relation to
+    ``simulate_rows``: inflation multiplies both algorithms' linear terms
+    alike but squares the nested-loop term, so estimating on inflated
+    counts would never classify any build side as small.
+    """
+    right = stats.table(node.join.table) if stats is not None else None
+    if right is None or cost_model is None:
+        return HashJoinOp(node.join, node.right_columns, node.right_predicates), None
+    scale = stats.simulate_rows / max(stats.main.rows, 1)
+    survival = predicate_selectivity(node.right_predicates)
+    right_rows = right.rows * scale * survival
+    right_bytes = right.bytes_for(node.right_columns) * right_rows
+    if not optimizer.choose_join:
+        estimate = cost_model.hash_join(rows, right_rows, right_bytes, rows)
+        return HashJoinOp(node.join, node.right_columns, node.right_predicates), estimate
+    name, estimate, candidates = cost_model.choose_join(rows, right_rows, right_bytes, rows)
+    loser = next(key for key in candidates if key != name)
+    choices.append(
+        f"join {node.join.table}: {name} "
+        f"({estimate.total_seconds:.4f}s vs {loser} "
+        f"{candidates[loser].total_seconds:.4f}s)"
+    )
+    op_type = HashJoinOp if name == "hash" else NestedLoopJoinOp
+    return op_type(node.join, node.right_columns, node.right_predicates), estimate
+
+
+def _column_bytes(stats: Optional[PlanStats], name: str) -> float:
+    """Catalog bytes/row of a column; computed columns get the default."""
+    if stats is not None:
+        for table in [stats.main, *stats.joined.values()]:
+            if name in table.column_bytes:
+                return table.column_bytes[name]
+    return ESTIMATED_RESULT_BYTES
+
+
+def _predicate_bytes(predicates, stats: Optional[PlanStats]) -> float:
+    """Bytes/row a filter pass reads: each distinct column once."""
+    columns = {p.column for p in predicates}
+    columns.update(p.column_rhs for p in predicates if p.column_rhs)
+    return sum(_column_bytes(stats, name) for name in columns)

@@ -1,0 +1,93 @@
+"""Rewrite-rule engine over the logical plan (DBSim ``planners/rules`` style).
+
+A :class:`RewriteRule` inspects the bottom-up logical node list and either
+returns a rewritten list plus a human-readable detail, or ``None`` when it
+has nothing to do.  :func:`apply_rules` drives the rule set to a fixpoint
+and records a :class:`RewriteEvent` per firing -- the trace EXPLAIN prints
+under ``rewrites:``.
+
+The stock rule set:
+
+* :class:`~repro.engine.plan.rules.predicates.PredicateSimplifyRule` --
+  dedupe / range-tighten / contradiction-prove WHERE conjuncts;
+* :class:`~repro.engine.plan.rules.pushdown.FilterPushdownRule` -- move
+  conjuncts below joins, and into a join's build side where possible;
+* :class:`~repro.engine.plan.rules.projection.SortKeyRetentionRule` --
+  carry ORDER BY keys through the projection (always on: correctness);
+* :class:`~repro.engine.plan.rules.projection.ProjectionPruningRule` --
+  drop unreferenced columns from scan and join ship sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.plan.logical import LogicalNode
+
+
+@dataclass
+class RewriteEvent:
+    """One rule firing: which rule, and what it changed."""
+
+    rule: str
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.rule}: {self.detail}"
+
+
+class RewriteRule:
+    """Base class: transform the bottom-up node list or decline."""
+
+    name = "rewrite"
+
+    def apply(
+        self, nodes: List[LogicalNode], stats=None
+    ) -> Optional[Tuple[List[LogicalNode], str]]:
+        raise NotImplementedError
+
+
+#: Safety bound on fixpoint iteration; every stock rule is idempotent so
+#: two passes normally suffice.
+MAX_PASSES = 8
+
+
+def apply_rules(
+    nodes: List[LogicalNode],
+    rules: List[RewriteRule],
+    stats=None,
+) -> Tuple[List[LogicalNode], List[RewriteEvent]]:
+    """Run ``rules`` to a fixpoint over the node list."""
+    events: List[RewriteEvent] = []
+    for _ in range(MAX_PASSES):
+        fired = False
+        for rule in rules:
+            result = rule.apply(nodes, stats)
+            if result is not None:
+                nodes, detail = result
+                events.append(RewriteEvent(rule.name, detail))
+                fired = True
+        if not fired:
+            break
+    return nodes, events
+
+
+def default_rules(optimize: bool = True) -> List[RewriteRule]:
+    """The stock rule set; with ``optimize=False`` only the always-on
+    correctness passes (sort-key retention) remain."""
+    from repro.engine.plan.rules.predicates import PredicateSimplifyRule
+    from repro.engine.plan.rules.projection import (
+        ProjectionPruningRule,
+        SortKeyRetentionRule,
+    )
+    from repro.engine.plan.rules.pushdown import FilterPushdownRule
+
+    if not optimize:
+        return [SortKeyRetentionRule()]
+    return [
+        PredicateSimplifyRule(),
+        FilterPushdownRule(),
+        SortKeyRetentionRule(),
+        ProjectionPruningRule(),
+    ]

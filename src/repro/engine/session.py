@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple, Union
 from repro.core.decimal.value import DecimalValue
 from repro.core.jit.pipeline import JitOptions, KernelCache
 from repro.engine.executor import run_plan
+from repro.engine.plan.cost import CostModel, OptimizerConfig, PlanStats, TableStats
 from repro.engine.plan.physical import Batch, ExecutionReport, QueryContext
 from repro.engine.plan.planner import plan_query
 from repro.engine.sql.ast_nodes import Query
@@ -64,6 +65,7 @@ class Database:
         jit_options: Optional[JitOptions] = None,
         aggregation_tpi: int = 8,
         streaming: Optional[StreamingConfig] = None,
+        optimizer: Optional[OptimizerConfig] = None,
     ):
         self.catalog = Catalog()
         self.device = device
@@ -72,6 +74,7 @@ class Database:
         self.jit_options = jit_options if jit_options is not None else JitOptions()
         self.aggregation_tpi = aggregation_tpi
         self.streaming = streaming if streaming is not None else StreamingConfig()
+        self.optimizer = optimizer if optimizer is not None else OptimizerConfig()
         self.kernel_cache = KernelCache()
 
     # ----------------------------------------------------------------- DDL
@@ -106,18 +109,23 @@ class Database:
         include_compile: bool = True,
         simulate_rows: Optional[int] = None,
         streaming: Optional[StreamingConfig] = None,
+        optimizer: Optional[OptimizerConfig] = None,
     ) -> QueryResult:
         """Parse, plan, and execute a SELECT statement.
 
         ``simulate_rows`` overrides the database-level setting for this
         query; an explicit ``0`` is honoured (charge nothing), only ``None``
-        falls back.  ``streaming`` likewise overrides the database-level
-        chunked-execution config per query.
+        falls back.  ``streaming`` and ``optimizer`` likewise override the
+        database-level configs per query.
         """
         query = parse_query(sql)
         relation = self.catalog.get(query.table)
         joined = {join.table: self.catalog.get(join.table) for join in query.joins}
         sim = self._resolve_simulate_rows(simulate_rows, relation)
+        optimizer = optimizer if optimizer is not None else self.optimizer
+        cost_model = CostModel(
+            self.device, self.host, include_scan=include_scan, include_transfer=include_transfer
+        )
         context = QueryContext(
             relation=relation,
             joined=joined,
@@ -131,11 +139,16 @@ class Database:
             include_compile=include_compile,
             tpi=self.aggregation_tpi,
             streaming=streaming if streaming is not None else self.streaming,
+            cost_model=cost_model,
+            optimizer=optimizer,
         )
         chain = plan_query(
             query,
             relation.column_names,
             {name: rel.column_names for name, rel in joined.items()},
+            stats=self._plan_stats(relation, joined, sim),
+            optimizer=optimizer,
+            cost_model=cost_model,
         )
         batch = run_plan(chain, context)
         return QueryResult(
@@ -151,10 +164,12 @@ class Database:
         simulate_rows: Optional[int] = None,
         streaming: Optional[StreamingConfig] = None,
         measure_data_plane: bool = False,
+        optimizer: Optional[OptimizerConfig] = None,
     ):
         """Plan (but do not fully execute) a query; returns an ExplainResult.
 
-        Shows the operator chain, every kernel the JIT would generate (with
+        Shows the rewritten operator chain with per-node cost estimates,
+        the rewrite-rule trace, every kernel the JIT would generate (with
         its optimised expression and the Listing-1-style source), the
         simulated cost estimates, and -- with streaming enabled -- each
         kernel's chunk count and pipelined-vs-serial estimate.  With
@@ -167,10 +182,15 @@ class Database:
         relation = self.catalog.get(query.table)
         joined = {join.table: self.catalog.get(join.table) for join in query.joins}
         sim = self._resolve_simulate_rows(simulate_rows, relation)
+        optimizer = optimizer if optimizer is not None else self.optimizer
+        cost_model = CostModel(self.device, self.host)
         chain = plan_query(
             query,
             relation.column_names,
             {name: rel.column_names for name, rel in joined.items()},
+            stats=self._plan_stats(relation, joined, sim),
+            optimizer=optimizer,
+            cost_model=cost_model,
         )
         result = explain_query(
             query,
@@ -182,11 +202,21 @@ class Database:
             joined=joined,
             streaming=streaming if streaming is not None else self.streaming,
             measure_data_plane=measure_data_plane,
+            cost_model=cost_model,
+            optimizer=optimizer,
         )
         result.sql = sql.strip()
         return result
 
     # ------------------------------------------------------------ plumbing
+
+    def _plan_stats(self, relation: Relation, joined, simulate_rows: int) -> PlanStats:
+        """Catalog statistics the planner's rules and cost model consume."""
+        return PlanStats(
+            main=TableStats.from_relation(relation),
+            joined={name: TableStats.from_relation(rel) for name, rel in joined.items()},
+            simulate_rows=simulate_rows,
+        )
 
     def _resolve_simulate_rows(self, simulate_rows: Optional[int], relation) -> int:
         """Per-call override > database default > actual row count.

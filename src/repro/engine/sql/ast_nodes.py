@@ -66,6 +66,8 @@ class Comparison:
     column_rhs: Optional[str] = None
 
     def __str__(self) -> str:
+        if self.column_rhs is not None:
+            return f"{self.column} {self.op} {self.column_rhs}"
         literal = f"'{self.literal}'" if isinstance(self.literal, str) else self.literal
         return f"{self.column} {self.op} {literal}"
 

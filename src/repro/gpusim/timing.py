@@ -185,6 +185,55 @@ def pcie_time(bytes_moved: int, device: GpuDevice = DEFAULT_DEVICE) -> float:
     return device.pcie_latency + bytes_moved / device.pcie_bandwidth
 
 
+#: Fraction of streaming DRAM efficiency a hash build/probe sustains: the
+#: accesses are random (bucket chasing), not coalesced sequential reads.
+HASH_ACCESS_EFFICIENCY = 0.25
+
+#: Bytes touched per tuple in a join's key pass: the key plus a slot
+#: pointer on the hash path, the packed key array on the nested-loop path.
+JOIN_KEY_BYTES = 12.0
+NESTED_LOOP_KEY_BYTES = 8.0
+
+
+def dram_pass_time(
+    bytes_moved: float, device: GpuDevice = DEFAULT_DEVICE, random_access: bool = False
+) -> float:
+    """One device-side pass over ``bytes_moved`` (no launch overhead).
+
+    ``random_access`` derates the streaming bandwidth by
+    :data:`HASH_ACCESS_EFFICIENCY` (hash-table builds/probes).
+    """
+    bandwidth = device.dram_bandwidth * device.dram_efficiency
+    if random_access:
+        bandwidth *= HASH_ACCESS_EFFICIENCY
+    return bytes_moved / bandwidth
+
+
+def hash_join_time(
+    left_tuples: float, right_tuples: float, device: GpuDevice = DEFAULT_DEVICE
+) -> float:
+    """Build over the right side plus probe over the left, both at
+    hash-table (random access) bandwidth, one launch per pass."""
+    return (
+        dram_pass_time((left_tuples + right_tuples) * JOIN_KEY_BYTES, device, random_access=True)
+        + device.kernel_launch_overhead
+    )
+
+
+def nested_loop_join_time(
+    left_tuples: float, right_tuples: float, device: GpuDevice = DEFAULT_DEVICE
+) -> float:
+    """Every probe tuple streams the whole build array: no build pass and a
+    single launch, but O(left x right) sequential key traffic -- only wins
+    when the build side is tiny (cf. "On GPU Implementation for
+    Multi-Precision Integer Division": per-op asymmetries make plan choice
+    a cost question, not a fixed shape)."""
+    return (
+        dram_pass_time(left_tuples * right_tuples * NESTED_LOOP_KEY_BYTES, device)
+        + device.kernel_launch_overhead
+    )
+
+
 #: JIT compilation model: NVRTC base latency plus per-IR-op cost.  TPC-H Q1
 #: compiles in ~320 ms at LEN=2 rising to ~423 ms at LEN=32 (section IV-D1);
 #: the per-op term reflects "the longer code generated".

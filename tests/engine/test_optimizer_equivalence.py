@@ -1,0 +1,128 @@
+"""Property test: the optimizer never changes results, only plans.
+
+Randomised (seeded) queries run twice -- optimizer fully on and fully off
+-- and must produce identical rows and column names.  This covers the
+rewrite rules (pushdown, merge, pruning, retention), the cost-based join
+and chunk choices, and the build-side predicate evaluation, all of which
+promise bit-exactness.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.plan.cost import OptimizerConfig
+
+TAGS = ["aa", "bb", "cc"]
+LABELS = ["red", "blue", "gold"]
+
+
+def make_db(rng: random.Random) -> Database:
+    db = Database(simulate_rows=1_000_000)
+    db.create_table(
+        "fact",
+        {
+            "f_key": "INT",
+            "f_qty": "INT",
+            "f_amount": "DECIMAL(12, 2)",
+            "f_rate": "DECIMAL(6, 4)",
+            "f_tag": "CHAR(2)",
+        },
+        rows=[
+            (
+                rng.randrange(8),
+                rng.randrange(10),
+                f"{rng.randrange(1000)}.{rng.randrange(100):02d}",
+                f"0.{rng.randrange(10000):04d}",
+                rng.choice(TAGS),
+            )
+            for _ in range(40)
+        ],
+    )
+    db.create_table(
+        "dim",
+        {"d_key": "INT", "d_label": "CHAR(4)", "d_weight": "DECIMAL(8, 2)"},
+        rows=[
+            (key, rng.choice(LABELS), f"{rng.randrange(50)}.{rng.randrange(100):02d}")
+            for key in range(8)
+        ],
+    )
+    return db
+
+
+def random_query(rng: random.Random) -> str:
+    joined = rng.random() < 0.5
+    where = []
+    for _ in range(rng.randrange(4)):
+        choice = rng.randrange(4 if joined else 3)
+        op = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+        if choice == 0:
+            where.append(f"f_qty {op} {rng.randrange(10)}")
+        elif choice == 1:
+            where.append(
+                f"f_amount {op} {rng.randrange(1000)}.{rng.randrange(100):02d}"
+            )
+        elif choice == 2:
+            where.append(f"f_tag {op} '{rng.choice(TAGS)}'")
+        else:
+            where.append(f"d_label {op} '{rng.choice(LABELS)}'")
+
+    aggregate = rng.random() < 0.4
+    if aggregate:
+        group = rng.choice(["f_tag", "f_qty"])
+        expression = (
+            "f_amount * d_weight" if joined and rng.random() < 0.5 else "f_amount * f_rate"
+        )
+        select = f"{group}, SUM({expression}) AS total"
+        order = rng.choice(
+            [None, f"{group}", f"{group} DESC", "total DESC", f"total DESC, {group}"]
+        )
+        tail = f" GROUP BY {group}"
+    else:
+        columns = ["f_qty", "f_amount", "f_tag"] + (["d_weight", "d_label"] if joined else [])
+        select = ", ".join(rng.sample(columns, rng.randrange(1, len(columns))))
+        # ORDER BY keys deliberately may be outside the SELECT list.
+        keys = rng.sample(columns, rng.randrange(1, 3))
+        order = ", ".join(
+            f"{key}{rng.choice(['', ' ASC', ' DESC'])}" for key in keys
+        )
+        tail = ""
+
+    sql = f"SELECT {select} FROM fact"
+    if joined:
+        sql += " JOIN dim ON f_key = d_key"
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    sql += tail
+    if order:
+        sql += f" ORDER BY {order}"
+    if rng.random() < 0.3:
+        sql += f" LIMIT {rng.randrange(1, 15)}"
+    return sql
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_optimized_plan_is_bit_exact(seed):
+    rng = random.Random(1000 + seed)
+    db = make_db(rng)
+    sql = random_query(rng)
+    on = db.execute(sql)
+    off = db.execute(sql, optimizer=OptimizerConfig.off())
+    assert on.column_names == off.column_names, sql
+    assert on.rows == off.rows, sql
+
+
+def test_reports_track_bytes_both_ways():
+    rng = random.Random(7)
+    db = make_db(rng)
+    sql = (
+        "SELECT f_amount, d_weight FROM fact JOIN dim ON f_key = d_key "
+        "WHERE d_label = 'red' AND f_qty > 2"
+    )
+    on = db.execute(sql)
+    off = db.execute(sql, optimizer=OptimizerConfig.off())
+    assert on.rows == off.rows
+    # The optimized plan never moves more simulated bytes than the naive one.
+    assert on.report.pcie_bytes <= off.report.pcie_bytes
+    assert on.report.scan_bytes <= off.report.scan_bytes

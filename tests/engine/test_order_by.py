@@ -1,0 +1,92 @@
+"""Regression tests for ORDER BY correctness.
+
+Covers the two historical sort bugs: descending keys were made by
+reversing the ascending permutation (which also reversed the order of
+equal keys, breaking multi-key sorts and tie stability), and ORDER BY on
+a column the SELECT list dropped crashed in the sort operator.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.plan.cost import OptimizerConfig
+from repro.errors import ExecutionError
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.create_table(
+        "t",
+        {"g": "CHAR(2)", "v": "INT", "b": "DECIMAL(10, 2)"},
+        rows=[
+            ("aa", 1, "5.00"),
+            ("bb", 2, "1.00"),
+            ("cc", 2, "3.00"),
+            ("dd", 1, "3.00"),
+            ("ee", 2, "4.00"),
+        ],
+    )
+    return db
+
+
+class TestDescendingStability:
+    def test_desc_ties_keep_input_order(self):
+        result = make_db().execute("SELECT g, v FROM t ORDER BY v DESC")
+        assert [row[0] for row in result.rows] == ["bb", "cc", "ee", "aa", "dd"]
+
+    def test_multi_key_desc_then_asc(self):
+        # Within equal v (sorted DESC), rows must follow b ASC: the old
+        # rank-reversal destroyed the secondary order of tied primaries.
+        result = make_db().execute("SELECT g, v, b FROM t ORDER BY v DESC, b ASC")
+        assert [row[0] for row in result.rows] == ["bb", "cc", "ee", "dd", "aa"]
+
+    def test_multi_key_asc_then_desc(self):
+        result = make_db().execute("SELECT g, v, b FROM t ORDER BY v ASC, b DESC")
+        assert [row[0] for row in result.rows] == ["aa", "dd", "ee", "cc", "bb"]
+
+    def test_desc_on_char_column(self):
+        # CHAR keys sort as bytes, which cannot be negated -- the dense-rank
+        # inversion has to handle them too.
+        result = make_db().execute("SELECT g FROM t ORDER BY g DESC")
+        assert [row[0] for row in result.rows] == ["ee", "dd", "cc", "bb", "aa"]
+
+    def test_desc_on_decimal_column(self):
+        result = make_db().execute("SELECT g, b FROM t ORDER BY b DESC")
+        assert [row[0] for row in result.rows] == ["aa", "ee", "cc", "dd", "bb"]
+
+
+class TestOrderByNonSelectedColumn:
+    def test_sort_key_not_in_select_list(self):
+        result = make_db().execute("SELECT g FROM t ORDER BY v DESC, g ASC")
+        assert result.column_names == ["g"]
+        assert [row[0] for row in result.rows] == ["bb", "cc", "ee", "aa", "dd"]
+
+    def test_sort_key_dropped_from_output(self):
+        result = make_db().execute("SELECT b FROM t ORDER BY v")
+        assert result.column_names == ["b"]
+        assert all(len(row) == 1 for row in result.rows)
+
+    def test_retention_is_always_on(self):
+        # Sort-key retention is a correctness pass: it must run even with
+        # the optimizer disabled.
+        result = make_db().execute(
+            "SELECT g FROM t ORDER BY v", optimizer=OptimizerConfig.off()
+        )
+        assert [row[0] for row in result.rows] == ["aa", "dd", "bb", "cc", "ee"]
+
+    def test_jit_projection_with_carried_key(self):
+        # The carried key must survive a projection that JIT-computes its
+        # other outputs.
+        result = make_db().execute("SELECT b * 2 FROM t ORDER BY v DESC, g DESC")
+        assert result.column_names == ["b * 2"]
+        assert [str(row[0]) for row in result.rows] == [
+            "8.00",  # ee: v=2
+            "6.00",  # cc
+            "2.00",  # bb
+            "6.00",  # dd: v=1
+            "10.00",  # aa
+        ]
+
+    def test_unknown_sort_column_still_fails(self):
+        with pytest.raises(ExecutionError):
+            make_db().execute("SELECT g FROM t ORDER BY nope")
