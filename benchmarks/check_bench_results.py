@@ -1,0 +1,117 @@
+"""Validate every ``bench_results/*.json`` artifact.
+
+Each artifact is written by :meth:`repro.bench.harness.Experiment.save`;
+CI uploads them and EXPERIMENTS.md is regenerated from them, so a stale or
+hand-mangled file should fail fast rather than silently ship.  Checks per
+file:
+
+* parses as JSON and is a top-level object;
+* carries the harness schema: ``id``, ``title``, ``headers``, ``rows``
+  (with ``id`` matching the filename);
+* every row has exactly one cell per header;
+* no numeric cell is NaN or infinite;
+* cells under timing/throughput headers (``(s)``, ``(ms)``, ``latency``,
+  ``/sec`` ...) are never negative.
+
+Usage::
+
+    python benchmarks/check_bench_results.py [directory]
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+from typing import List
+
+#: Header fragments that mark a column as a timing/rate: values there must
+#: be finite and non-negative (a negative simulated time is always a bug).
+NON_NEGATIVE_MARKERS = (
+    "(s)",
+    "(ms)",
+    "(us)",
+    "sec",
+    "latency",
+    "time",
+    "speedup",
+    "throughput",
+    "rows/s",
+    "chunks",
+)
+
+REQUIRED_KEYS = ("id", "title", "headers", "rows")
+
+
+def check_file(path: Path) -> List[str]:
+    """All violations found in one artifact (empty = clean)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"unreadable JSON: {error}"]
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level {key!r} (harness schema)")
+    if problems:
+        return problems
+
+    if payload["id"] != path.stem:
+        problems.append(f"id {payload['id']!r} does not match filename {path.stem!r}")
+    headers = payload["headers"]
+    rows = payload["rows"]
+    if not isinstance(headers, list) or not all(isinstance(h, str) for h in headers):
+        return problems + ["headers is not a list of strings"]
+    if not isinstance(rows, list):
+        return problems + ["rows is not a list"]
+
+    guarded = [
+        index
+        for index, header in enumerate(headers)
+        if any(marker in header.lower() for marker in NON_NEGATIVE_MARKERS)
+    ]
+    for row_index, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(headers):
+            problems.append(f"row {row_index} does not match the {len(headers)} headers")
+            continue
+        for cell_index, cell in enumerate(row):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            if math.isnan(cell) or math.isinf(cell):
+                problems.append(
+                    f"row {row_index} {headers[cell_index]!r}: non-finite value {cell}"
+                )
+            elif cell_index in guarded and cell < 0:
+                problems.append(
+                    f"row {row_index} {headers[cell_index]!r}: negative timing {cell}"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    directory = Path(argv[1]) if len(argv) > 1 else Path("bench_results")
+    artifacts = sorted(directory.glob("*.json"))
+    if not artifacts:
+        print(f"FAIL: no artifacts found under {directory}/")
+        return 1
+    failures = 0
+    for path in artifacts:
+        problems = check_file(path)
+        for problem in problems:
+            print(f"FAIL {path}: {problem}")
+        failures += len(problems)
+    if failures:
+        print(f"{failures} problem(s) across {len(artifacts)} artifact(s)")
+        return 1
+    print(f"OK: {len(artifacts)} artifacts under {directory}/ are valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

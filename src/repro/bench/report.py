@@ -34,6 +34,7 @@ def _build_registry() -> None:
         return
     from repro.bench.experiments import (
         ext_hotpath,
+        ext_serving,
         ext_streaming,
         fig01_motivation,
         fig08_query1,
@@ -139,6 +140,12 @@ def _build_registry() -> None:
         "Extension: batched decimal kernels vs the row-loop reference; "
         "bit-exact with the largest wins on division at low LEN",
     )(lambda: ext_hotpath.run(rows=4000))
+
+    register(
+        "ext_serving",
+        "Extension: concurrent sessions share one simulated device; "
+        "throughput grows with sessions via overlap, p99 degrades gracefully",
+    )(lambda: ext_serving.run(rows=600))
 
     register(
         "ext_streaming",

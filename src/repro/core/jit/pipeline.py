@@ -17,6 +17,7 @@ Optimisations can be switched off individually, which is how the Figure
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -204,10 +205,17 @@ class KernelCache:
     distinct kernel; repeated queries reuse the compiled artefact.  The
     timing model consults :attr:`hits`/:attr:`misses` to decide whether to
     charge compilation.
+
+    The cache is shared across the serving layer's sessions, which execute
+    on a thread pool, so lookup-and-compile runs under a lock: one session
+    compiles, concurrent requests for the same kernel wait and hit.  A
+    compilation that raises (or a query cancelled between operators)
+    inserts nothing -- entries only ever appear whole.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple, CompiledExpression] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -232,18 +240,21 @@ class KernelCache:
             tuple(sorted(schema.items(), key=lambda item: item[0])),
             options.cache_key_part(),
         )
-        if key in self._entries:
-            self.hits += 1
-            return self._entries[key], True
-        self.misses += 1
-        compiled = compile_expression(text, schema, options, name=name)
-        self._entries[key] = compiled
-        return compiled, False
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key], True
+            compiled = compile_expression(text, schema, options, name=name)
+            self.misses += 1
+            self._entries[key] = compiled
+            return compiled, False
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.engine.plan.physical import Batch, PhysicalOp, QueryContext
+from repro.errors import QueryCancelledError
 from repro.gpusim import timing as gpu_timing
 
 
@@ -13,9 +14,19 @@ OPERATOR_OVERHEAD_SECONDS = 0.050
 
 
 def run_plan(chain: List[PhysicalOp], context: QueryContext) -> Batch:
-    """Execute the operator chain and return the final batch."""
+    """Execute the operator chain and return the final batch.
+
+    ``context.cancel_check`` is polled at every operator boundary: a
+    timed-out or abandoned query stops before its next operator, leaving
+    the shared kernel cache and residency state consistent (entries are
+    only ever inserted whole, between the poll points).
+    """
     batch: Optional[Batch] = None
     for op in chain:
+        if context.cancel_check is not None and context.cancel_check():
+            raise QueryCancelledError(
+                f"query cancelled before {type(op).__name__}"
+            )
         batch = op.run(batch, context)
     # Streaming defers scan-time H2D copies so kernels can overlap them;
     # columns no kernel consumed (filter/join/group keys, unused scans)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,7 +25,9 @@ from repro.engine.plan.cost import CostEstimate, CostModel, OptimizerConfig
 from repro.engine.sql.ast_nodes import AggregateCall, Comparison, OrderKey, SelectItem
 from repro.errors import ExecutionError, PlanningError
 from repro.gpusim import executor as gpu_executor
+from repro.gpusim import occupancy as gpu_occupancy
 from repro.gpusim import timing as gpu_timing
+from repro.gpusim.residency import DeviceResidency
 from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
 from repro.gpusim.streaming import StreamingConfig, execute_streamed
 from repro.storage.column import Column
@@ -55,6 +57,11 @@ class KernelExecution:
     #: arithmetic actually run in this process), as opposed to the simulated
     #: GPU seconds above which come from instruction counts.
     data_plane_seconds: float = 0.0
+    #: SM occupancy fraction of this launch (from the register-pressure
+    #: model).  The device scheduler uses it as the kernel's SM demand:
+    #: launches from concurrent queries are co-resident while their
+    #: occupancies sum to <= 1.
+    occupancy: float = 1.0
 
     @property
     def overlap_speedup(self) -> float:
@@ -169,6 +176,15 @@ class QueryContext:
     cost_model: Optional["CostModel"] = None
     #: Which optimizer stages are active for this query.
     optimizer: "OptimizerConfig" = field(default_factory=lambda: OptimizerConfig.off())
+    #: Cross-query device residency of columns (shared by the serving
+    #: layer's sessions).  ``None`` keeps the single-query behaviour:
+    #: every scan ships its columns over PCIe.
+    residency: Optional["DeviceResidency"] = None
+    #: Cooperative cancellation flag, polled between operators by
+    #: :func:`repro.engine.executor.run_plan`.  Returning True raises
+    #: :class:`repro.errors.QueryCancelledError` at the next operator
+    #: boundary -- never mid-kernel, so shared caches stay consistent.
+    cancel_check: Optional[Callable[[], bool]] = None
     report: ExecutionReport = field(default_factory=ExecutionReport)
 
 
@@ -201,19 +217,33 @@ class ScanOp(PhysicalOp):
             context.report.scan_seconds += gpu_timing.disk_scan_time(simulated_bytes, context.host)
             context.report.scan_bytes += simulated_bytes
         if context.include_transfer:
+            ship = self.columns
+            if context.residency is not None:
+                # Shared device: columns another query already shipped are
+                # resident (keyed by version, so appends re-ship), and this
+                # scan pays PCIe only for the cold ones.
+                ship = [
+                    name
+                    for name in self.columns
+                    if context.residency.admit(
+                        (relation.name, name, relation.column(name).version),
+                        relation.bytes_for([name]) * scale,
+                    )
+                ]
             if context.streaming.enabled:
                 # Defer the H2D copy: the first kernel touching each column
                 # streams its transfer chunk-wise, overlapped with compute.
-                for name in self.columns:
+                for name in ship:
                     context.pending_transfer[name] = (
                         context.pending_transfer.get(name, 0.0)
                         + relation.bytes_for([name]) * scale
                     )
             else:
+                ship_bytes = int(relation.bytes_for(ship) * scale) if ship else 0
                 context.report.pcie_seconds += gpu_timing.pcie_time(
-                    simulated_bytes, context.device
+                    ship_bytes, context.device
                 )
-                context.report.pcie_bytes += simulated_bytes
+                context.report.pcie_bytes += ship_bytes
         columns = {name: relation.column(name) for name in self.columns}
         context.report.simulated_rows = context.simulate_rows
         return Batch(columns=columns, rows=relation.rows, simulated_rows=float(context.simulate_rows))
@@ -761,6 +791,7 @@ def _evaluate_expression(
             serial_seconds=run.timing.seconds,
             pipelined_seconds=run.timing.seconds,
             data_plane_seconds=elapsed,
+            occupancy=run.timing.occupancy.occupancy,
         )
     )
     return run.result
@@ -814,6 +845,7 @@ def _execute_streamed_kernel(
             serial_seconds=run.serial_seconds,
             pipelined_seconds=run.pipelined_seconds,
             data_plane_seconds=elapsed,
+            occupancy=gpu_occupancy.compute(kernel, context.device).occupancy,
         )
     )
     return run.result

@@ -1,0 +1,17 @@
+"""Concurrent serving layer: async sessions over one simulated device."""
+
+from repro.engine.serving.server import (
+    ServerConfig,
+    ServerStats,
+    ServingResult,
+    Session,
+    SessionServer,
+)
+
+__all__ = [
+    "ServerConfig",
+    "ServerStats",
+    "ServingResult",
+    "Session",
+    "SessionServer",
+]

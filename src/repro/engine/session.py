@@ -17,8 +17,11 @@ the actual row count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.decimal.value import DecimalValue
 from repro.core.jit.pipeline import JitOptions, KernelCache
@@ -29,8 +32,10 @@ from repro.engine.plan.planner import plan_query
 from repro.engine.sql.ast_nodes import Query
 from repro.engine.sql.parser import parse_query
 from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
+from repro.gpusim.residency import DeviceResidency
 from repro.gpusim.streaming import StreamingConfig
 from repro.storage.catalog import Catalog
+from repro.storage.column import Column
 from repro.storage.relation import Relation
 from repro.storage.schema import CharType, DecimalType
 
@@ -66,6 +71,7 @@ class Database:
         aggregation_tpi: int = 8,
         streaming: Optional[StreamingConfig] = None,
         optimizer: Optional[OptimizerConfig] = None,
+        residency: Optional[DeviceResidency] = None,
     ):
         self.catalog = Catalog()
         self.device = device
@@ -76,6 +82,17 @@ class Database:
         self.streaming = streaming if streaming is not None else StreamingConfig()
         self.optimizer = optimizer if optimizer is not None else OptimizerConfig()
         self.kernel_cache = KernelCache()
+        #: Cross-query device residency of scanned columns.  ``None`` (the
+        #: default) keeps single-query semantics -- every query ships its
+        #: columns; the serving layer installs a shared tracker so
+        #: concurrent sessions pay each transfer once per column version.
+        self.residency = residency
+        #: Serializes writers (``append``/``register``) against each other.
+        #: Readers never take it: a query captures its relation snapshot in
+        #: one catalog lookup and appends swap in *new* Relation/Column
+        #: objects instead of mutating, so an in-flight reader keeps a
+        #: consistent version throughout.
+        self._write_lock = threading.Lock()
 
     # ----------------------------------------------------------------- DDL
 
@@ -99,6 +116,37 @@ class Database:
         self.register(relation, replace=replace)
         return relation
 
+    def append(self, name: str, rows: Sequence[Sequence]) -> Relation:
+        """Append host-literal rows to a registered relation (INSERT).
+
+        Snapshot isolation by construction: the merged table is built from
+        *new* :class:`~repro.storage.column.Column` objects (fresh version
+        counters) and swapped into the catalog atomically, so a reader that
+        captured the old relation keeps seeing exactly the rows it started
+        with, while later queries -- and the device-residency and
+        register-expansion caches, which key on column versions -- pick up
+        the new data.  Writers serialize on the database write lock.
+        """
+        from repro.engine.ddl import build_relation
+
+        with self._write_lock:
+            current = self.catalog.get(name)
+            schema = {column.name: column.column_type for column in current.columns}
+            addition = build_relation(name, schema, rows)
+            merged = Relation(
+                name,
+                [
+                    Column(
+                        old.name,
+                        old.column_type,
+                        np.concatenate([old.data, new.data], axis=0),
+                    )
+                    for old, new in zip(current.columns, addition.columns)
+                ],
+            )
+            self.catalog.register(merged, replace=True)
+        return merged
+
     # ----------------------------------------------------------------- DML
 
     def execute(
@@ -110,13 +158,17 @@ class Database:
         simulate_rows: Optional[int] = None,
         streaming: Optional[StreamingConfig] = None,
         optimizer: Optional[OptimizerConfig] = None,
+        cancel_check: Optional[Callable[[], bool]] = None,
     ) -> QueryResult:
         """Parse, plan, and execute a SELECT statement.
 
         ``simulate_rows`` overrides the database-level setting for this
         query; an explicit ``0`` is honoured (charge nothing), only ``None``
         falls back.  ``streaming`` and ``optimizer`` likewise override the
-        database-level configs per query.
+        database-level configs per query.  ``cancel_check`` is polled at
+        operator boundaries; when it returns True the query raises
+        :class:`repro.errors.QueryCancelledError` (the serving layer's
+        timeout path).
         """
         query = parse_query(sql)
         relation = self.catalog.get(query.table)
@@ -141,6 +193,8 @@ class Database:
             streaming=streaming if streaming is not None else self.streaming,
             cost_model=cost_model,
             optimizer=optimizer,
+            residency=self.residency,
+            cancel_check=cancel_check,
         )
         chain = plan_query(
             query,

@@ -92,6 +92,31 @@ class ExecutionError(EngineError):
     """Query execution failed at runtime."""
 
 
+class ServingError(EngineError):
+    """Base class for concurrent-serving-layer errors."""
+
+
+class AdmissionError(ServingError):
+    """The server's admission controller rejected a query.
+
+    Raised when accepting the query would exceed the configured in-flight
+    plus queue-depth budget; the query was never executed, so retrying
+    after back-off is safe.
+    """
+
+
+class QueryTimeoutError(ServingError):
+    """A served query exceeded its timeout and was cancelled cleanly."""
+
+
+class QueryCancelledError(ServingError):
+    """Query execution observed its cancellation flag and stopped.
+
+    Raised between operators, never mid-kernel, so shared state (the
+    kernel cache, device residency) is always left consistent.
+    """
+
+
 class BaselineError(ReproError):
     """Base class for baseline-database model errors."""
 

@@ -7,6 +7,7 @@ experiment modules stay runnable from the plain test suite.
 
 from repro.bench.experiments import (
     ext_hotpath,
+    ext_serving,
     fig01_motivation,
     fig08_query1,
     fig09_query2,
@@ -109,3 +110,15 @@ class TestSmoke:
             floor = 0.9 if row[0].startswith("div[static:") else 1.0
             assert row[5] >= floor, row
         assert all(row[6] for row in experiment.rows)
+
+    def test_ext_serving(self):
+        experiment = ext_serving.run(
+            rows=100, session_counts=(1, 2), queries_per_session=2
+        )
+        # Bit-exactness vs serial is asserted inside run(); here only the
+        # shape and sanity of the simulated schedule.
+        assert experiment.column("sessions") == [1, 2]
+        assert all(qps > 0 for qps in experiment.column("queries/sec"))
+        assert all(
+            speedup >= 1.0 for speedup in experiment.column("overlap speedup")
+        )
