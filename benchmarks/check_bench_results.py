@@ -11,7 +11,10 @@ file:
 * every row has exactly one cell per header;
 * no numeric cell is NaN or infinite;
 * cells under timing/throughput headers (``(s)``, ``(ms)``, ``latency``,
-  ``/sec`` ...) are never negative.
+  ``/sec`` ...) are never negative;
+* artifacts with a registered schema (``EXPECTED_HEADERS``) carry exactly
+  the registered header list -- a drive-by header rename must update the
+  registry (and the consumers it documents) in the same change.
 
 Usage::
 
@@ -45,6 +48,23 @@ NON_NEGATIVE_MARKERS = (
 
 REQUIRED_KEYS = ("id", "title", "headers", "rows")
 
+#: Artifacts whose header layout downstream gates depend on (CI smoke
+#: checks, EXPERIMENTS.md narratives).  Validated exactly, in order.
+EXPECTED_HEADERS = {
+    "ext_compression": [
+        "query",
+        "LEN",
+        "codec",
+        "pcie (MB)",
+        "reduction vs compact",
+        "chunks skipped",
+        "chunks total",
+        "pipelined (s)",
+        "speedup vs compact",
+        "bit_exact",
+    ],
+}
+
 
 def check_file(path: Path) -> List[str]:
     """All violations found in one artifact (empty = clean)."""
@@ -70,6 +90,12 @@ def check_file(path: Path) -> List[str]:
         return problems + ["headers is not a list of strings"]
     if not isinstance(rows, list):
         return problems + ["rows is not a list"]
+
+    expected = EXPECTED_HEADERS.get(path.stem)
+    if expected is not None and headers != expected:
+        problems.append(
+            f"headers {headers!r} do not match the registered schema {expected!r}"
+        )
 
     guarded = [
         index

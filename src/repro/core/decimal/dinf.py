@@ -1,0 +1,166 @@
+"""decimalInfinite-style order-preserving byte encoding of unscaled values.
+
+The storage codec layer (``repro.storage.codecs``) needs a variable-length
+decimal encoding whose *byte order equals numeric order*: comparing two
+encoded values with ``memcmp`` must agree with comparing the decoded
+numbers.  That property lets filters run directly on encoded bytes before
+any register expansion, and lets zone-map boundaries be taken straight from
+encoded chunks.
+
+The scheme here encodes one signed unscaled integer ``v`` as a prefix byte
+plus the magnitude bytes:
+
+* ``v == 0``: the single byte ``0x80``;
+* ``v > 0``: ``0x80 + nbytes`` followed by the magnitude big-endian with
+  no leading zero byte (``nbytes`` is the minimal byte length);
+* ``v < 0``: ``0x80 - nbytes`` followed by the *complemented* magnitude
+  bytes (``0xFF - b``), big-endian.
+
+Ordering falls out by construction: every negative prefix (< 0x80) sorts
+below zero (0x80) which sorts below every positive prefix (> 0x80); among
+positives a longer magnitude has a larger prefix, and equal lengths compare
+big-endian; among negatives a longer magnitude has a *smaller* prefix and
+the complement reverses the big-endian order.  Because the first byte
+determines the length, no encoding is a proper prefix of another: two
+distinct encodings always differ within ``min(len)`` bytes, so chunks may
+zero-pad rows to a common width without affecting comparisons.
+
+The prefix byte caps the magnitude at :data:`MAX_MAGNITUDE_BYTES` bytes --
+enough for every spec the paper's LEN sweep stores (precision 285 needs
+119 bytes); wider specs fall back to the compact codec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: The encoding of zero (and the pivot every prefix byte is offset from).
+ZERO_PREFIX = 0x80
+
+#: Largest magnitude byte length the prefix byte can express.
+MAX_MAGNITUDE_BYTES = 0x7F
+
+
+def max_encoded_bytes(max_unscaled: int) -> int:
+    """Worst-case encoded length (prefix + magnitude) for a magnitude bound."""
+    return 1 + _nbytes(max_unscaled)
+
+
+def supports(max_unscaled: int) -> bool:
+    """Whether every value with ``|v| <= max_unscaled`` is encodable."""
+    return _nbytes(max_unscaled) <= MAX_MAGNITUDE_BYTES
+
+
+def _nbytes(magnitude: int) -> int:
+    return (magnitude.bit_length() + 7) // 8
+
+
+def encode(values: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode signed ints into a zero-padded ``(N, width)`` uint8 matrix.
+
+    Returns ``(data, lengths)`` where ``lengths[i]`` is row ``i``'s true
+    encoded byte count (prefix included) and ``width = lengths.max()``.
+    The wire size of the chunk is ``lengths.sum()``; the padding bytes are
+    never shipped, only kept so the matrix is rectangular for vectorised
+    comparisons (sound because no encoding prefixes another -- see module
+    docstring).
+    """
+    n = len(values)
+    magnitudes = [-v if v < 0 else v for v in values]
+    nbytes = np.fromiter((_nbytes(m) for m in magnitudes), dtype=np.int64, count=n)
+    if n and int(nbytes.max()) > MAX_MAGNITUDE_BYTES:
+        row = int(np.argmax(nbytes))
+        raise ValueError(
+            f"magnitude at row {row} needs {int(nbytes[row])} bytes; the "
+            f"order-preserving encoding caps at {MAX_MAGNITUDE_BYTES}"
+        )
+    lengths = (nbytes + 1).astype(np.int32)
+    width = int(lengths.max()) if n else 1
+    out = np.zeros((n, width), dtype=np.uint8)
+    negative = np.fromiter((v < 0 for v in values), dtype=bool, count=n)
+    out[:, 0] = np.where(
+        negative, ZERO_PREFIX - nbytes, ZERO_PREFIX + nbytes
+    ).astype(np.uint8)
+
+    # Magnitudes that fit uint64 write their big-endian bytes in bulk, one
+    # gather per distinct length; wider rows fall back to int.to_bytes.
+    small = np.nonzero((nbytes >= 1) & (nbytes <= 8))[0]
+    if small.size:
+        folded = np.fromiter(
+            (magnitudes[i] for i in small.tolist()), dtype=np.uint64, count=small.size
+        )
+        be = np.ascontiguousarray(folded.astype(">u8")).view(np.uint8)
+        be = be.reshape(small.size, 8)
+        small_nbytes = nbytes[small]
+        for nb in np.unique(small_nbytes).tolist():
+            pos = np.nonzero(small_nbytes == nb)[0]
+            out[small[pos], 1 : 1 + nb] = be[pos, 8 - nb : 8]
+    for i in np.nonzero(nbytes > 8)[0].tolist():
+        nb = int(nbytes[i])
+        out[i, 1 : 1 + nb] = np.frombuffer(
+            magnitudes[i].to_bytes(nb, "big"), dtype=np.uint8
+        )
+
+    if negative.any():
+        # Complement the magnitude bytes of negative rows (prefix excluded,
+        # padding excluded) so bigger magnitudes sort lower.
+        columns = np.arange(width)[None, :]
+        payload = negative[:, None] & (columns >= 1) & (columns < lengths[:, None])
+        out[payload] = 0xFF - out[payload]
+    return out, lengths
+
+
+def encode_one(value: int) -> np.ndarray:
+    """Encode a single value (filter literals) to its exact byte string."""
+    data, lengths = encode([value])
+    return data[0, : int(lengths[0])].copy()
+
+
+def decode(data: np.ndarray, lengths: np.ndarray) -> List[int]:
+    """Decode a padded ``(N, width)`` matrix back to signed ints.
+
+    Row-at-a-time on purpose: decoding is the round-trip oracle for tests
+    and benchmarks, never the query hot path (results materialise from the
+    compact layout; filters compare encoded bytes without decoding).
+    """
+    values: List[int] = []
+    prefixes = data[:, 0].astype(np.int64)
+    for i in range(data.shape[0]):
+        prefix = int(prefixes[i])
+        nb = abs(prefix - ZERO_PREFIX)
+        if nb + 1 != int(lengths[i]):
+            raise ValueError(f"row {i}: prefix length {nb + 1} != stored {lengths[i]}")
+        if nb == 0:
+            values.append(0)
+            continue
+        payload = data[i, 1 : 1 + nb]
+        if prefix < ZERO_PREFIX:
+            payload = 0xFF - payload
+        magnitude = int.from_bytes(payload.astype(np.uint8).tobytes(), "big")
+        values.append(-magnitude if prefix < ZERO_PREFIX else magnitude)
+    return values
+
+
+def compare(data: np.ndarray, literal: np.ndarray) -> np.ndarray:
+    """Rowwise memcmp of encoded rows against one encoded literal.
+
+    Returns int8 per row: -1 below, 0 equal, +1 above -- which, by the
+    order-preserving property, is exactly the numeric comparison of the
+    decoded values.  Rows narrower than the literal (or vice versa) behave
+    as zero-padded, which is sound because distinct encodings always
+    diverge within the shorter one's true length.
+    """
+    rows, width = data.shape
+    literal_width = int(literal.shape[0])
+    out = np.zeros(rows, dtype=np.int8)
+    for j in range(max(width, literal_width)):
+        unresolved = out == 0
+        if not unresolved.any():
+            break
+        column = data[:, j] if j < width else np.zeros(rows, dtype=np.uint8)
+        target = int(literal[j]) if j < literal_width else 0
+        out[unresolved & (column > target)] = 1
+        out[unresolved & (column < target)] = -1
+    return out

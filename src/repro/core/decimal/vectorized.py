@@ -670,15 +670,40 @@ def _compare_magnitudes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+#: Limb-product count (``wa * wb``) above which the schoolbook loop loses
+#: to per-row Python big-int multiplies: the numpy path runs O(wa*wb)
+#: array passes, while CPython's multiply is one C call per row (Karatsuba
+#: above its internal cutoff).  256 keeps LEN<=8 and the narrow alignment
+#: multiplies (``_mul_pow10``/prescale, small ``wb``) on the array path
+#: and routes the wide LEN=16/32 products through objects -- mirroring the
+#: width-specialised strategy of ``_planes_to_magnitudes``.
+_MUL_OBJECT_CUTOVER = 256
+
+
 def _mul_magnitudes(a: np.ndarray, b: np.ndarray, out_width: int) -> np.ndarray:
     """Schoolbook limb products with split lo/hi accumulation.
 
     Partial products ``a[:,i] * b[:,j]`` land in output column ``i+j``; the
     64-bit products are split into 32-bit halves so a uint64 accumulator can
     absorb up to 2**32 terms without overflow (we have at most 32).
+
+    Wide operands (``wa * wb >= _MUL_OBJECT_CUTOVER``) cut over to big-int
+    accumulation: fold both sides to Python ints, multiply row-wise, split
+    the products back into limbs.
     """
     rows = a.shape[0]
     wa, wb = a.shape[1], b.shape[1]
+    if rows and wa * wb >= _MUL_OBJECT_CUTOVER:
+        products = [
+            x * y
+            for x, y in zip(_planes_to_magnitudes(a), _planes_to_magnitudes(b))
+        ]
+        limit = 1 << (WORD_BITS * out_width)
+        if any(product >= limit for product in products):
+            raise PrecisionOverflowError(
+                "vector multiplication overflowed the register array"
+            )
+        return _magnitudes_to_planes(products, out_width)
     acc = np.zeros((rows, max(wa + wb + 1, out_width)), dtype=np.uint64)
     for i in range(wa):
         ai = a[:, i].astype(np.uint64)

@@ -16,7 +16,7 @@ traffic) and the timing model stays honest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.decimal import words as w
 from repro.core.decimal.context import WORD_BITS, WORD_MASK, DecimalSpec
@@ -80,7 +80,7 @@ class GroupValue:
         return -magnitude if self.negative and magnitude else magnitude
 
 
-def add(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStats = None) -> GroupValue:
+def add(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: Optional[GroupStats] = None) -> GroupValue:
     """Signed addition across the group.
 
     Signs are shared among group threads (one broadcast); same-sign values
@@ -104,13 +104,13 @@ def add(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStat
     return _build(result_spec, a.tpi, big.negative, magnitude)
 
 
-def sub(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStats = None) -> GroupValue:
+def sub(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: Optional[GroupStats] = None) -> GroupValue:
     """Signed subtraction: flips b's sign then adds."""
     flipped = GroupValue(spec=b.spec, tpi=b.tpi, negative=not b.negative, lanes=b.lanes)
     return add(a, flipped, result_spec, stats)
 
 
-def mul(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: GroupStats = None) -> GroupValue:
+def mul(a: GroupValue, b: GroupValue, result_spec: DecimalSpec, stats: Optional[GroupStats] = None) -> GroupValue:
     """Group multiplication: operand words broadcast across the group.
 
     Each thread accumulates the partial products that land in its output
@@ -158,7 +158,7 @@ def div(
     b: GroupValue,
     result_spec: DecimalSpec,
     prescale: int,
-    stats: GroupStats = None,
+    stats: Optional[GroupStats] = None,
 ) -> GroupValue:
     """Group division via the CGBN Newton-Raphson path.
 
@@ -184,7 +184,7 @@ def div(
     return GroupValue.from_unscaled(-magnitude if negative else magnitude, result_spec, a.tpi)
 
 
-def compare(a: GroupValue, b: GroupValue, stats: GroupStats = None) -> int:
+def compare(a: GroupValue, b: GroupValue, stats: Optional[GroupStats] = None) -> int:
     """Signed three-way compare across the group."""
     stats = stats if stats is not None else GroupStats()
     stats.broadcasts += 2

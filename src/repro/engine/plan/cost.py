@@ -22,12 +22,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.decimal.value import DecimalValue
 from repro.core.jit import ir
 from repro.engine.sql.ast_nodes import Comparison
 from repro.gpusim import timing as gpu_timing
 from repro.gpusim.device import DEFAULT_DEVICE, DEFAULT_HOST, GpuDevice, HostSystem
 from repro.gpusim.streaming import DEFAULT_CHUNK_ROWS, StreamingConfig, stream_timing
+from repro.storage.codecs import ZoneMap
 from repro.storage.relation import Relation
+from repro.storage.schema import DecimalType
 
 
 @dataclass(frozen=True)
@@ -63,25 +66,71 @@ class TableStats:
     """Planner-visible statistics of one relation."""
 
     rows: int
-    #: Stored bytes per row, per column.
+    #: *Wire* bytes per row, per column: the encoded size under the
+    #: column's storage codec, falling back to stored bytes without one --
+    #: so codec choice feeds every scan/PCIe estimate downstream.
     column_bytes: Dict[str, float]
     #: Column name -> storage type (drives exact literal canonicalisation
     #: in the predicate-merge rule).
     column_types: Dict[str, object]
+    #: Zone-map index per codec-carrying DECIMAL column, for data-aware
+    #: selectivity estimates (see :meth:`zone_fraction`).
+    zones: Dict[str, List[ZoneMap]] = field(default_factory=dict)
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "TableStats":
         rows = max(relation.rows, 1)
+        zones: Dict[str, List[ZoneMap]] = {}
+        for column in relation.columns:
+            if column.codec is not None and isinstance(column.column_type, DecimalType):
+                zones[column.name] = column.encoding().zones
         return cls(
             rows=relation.rows,
             column_bytes={
-                column.name: column.bytes_stored / rows for column in relation.columns
+                column.name: column.wire_bytes / rows for column in relation.columns
             },
             column_types={column.name: column.column_type for column in relation.columns},
+            zones=zones,
         )
 
     def bytes_for(self, names) -> float:
         return sum(self.column_bytes.get(name, 0.0) for name in names)
+
+    def zone_fraction(self, predicate: Comparison) -> Optional[float]:
+        """Zone-map upper bound on a literal predicate's selectivity.
+
+        Chunks whose verdict is ``False`` contribute nothing, ``True``
+        chunks contribute all their rows, undecided chunks contribute the
+        operator's textbook default -- so the result is a data-aware
+        refinement of :data:`DEFAULT_SELECTIVITY`, not a guess.  Returns
+        None when the column has no zone index or the literal is not a
+        decimal literal.
+        """
+        zone_list = self.zones.get(predicate.column)
+        if not zone_list or predicate.column_rhs is not None:
+            return None
+        column_type = self.column_types.get(predicate.column)
+        if not isinstance(column_type, DecimalType):
+            return None
+        try:
+            target = DecimalValue.from_literal(
+                str(predicate.literal), column_type.spec
+            ).unscaled
+        except Exception:
+            return None
+        default = DEFAULT_SELECTIVITY.get(predicate.op, 0.5)
+        matching = 0.0
+        total = 0
+        for zone in zone_list:
+            total += zone.rows
+            verdict = zone.evaluate(predicate.op, target)
+            if verdict is True:
+                matching += zone.rows
+            elif verdict is None:
+                matching += zone.rows * default
+        if total == 0:
+            return None
+        return matching / total
 
 
 @dataclass
@@ -109,11 +158,23 @@ class PlanStats:
 DEFAULT_SELECTIVITY = {"=": 0.1, "<>": 0.9, "<": 1 / 3, "<=": 1 / 3, ">": 1 / 3, ">=": 1 / 3}
 
 
-def predicate_selectivity(predicates: List[Comparison]) -> float:
-    """Estimated surviving fraction of a conjunct list."""
+def predicate_selectivity(
+    predicates: List[Comparison], table: Optional[TableStats] = None
+) -> float:
+    """Estimated surviving fraction of a conjunct list.
+
+    With ``table`` statistics, literal conjuncts over zone-mapped columns
+    refine the System R defaults from the recorded min/max ranges (taking
+    the tighter of the two, since the zone bound is an upper bound).
+    """
     fraction = 1.0
     for predicate in predicates:
-        fraction *= DEFAULT_SELECTIVITY.get(predicate.op, 0.5)
+        estimate = DEFAULT_SELECTIVITY.get(predicate.op, 0.5)
+        if table is not None:
+            refined = table.zone_fraction(predicate)
+            if refined is not None:
+                estimate = min(estimate, refined)
+        fraction *= estimate
     return fraction
 
 
@@ -163,14 +224,18 @@ class CostModel:
         return CostEstimate(0.0, seconds, rows)
 
     def filter(
-        self, predicates: List[Comparison], bytes_per_row: float, rows: float
+        self,
+        predicates: List[Comparison],
+        bytes_per_row: float,
+        rows: float,
+        table: Optional[TableStats] = None,
     ) -> CostEstimate:
         traffic = bytes_per_row * rows
         seconds = (
             gpu_timing.dram_pass_time(traffic, self.device)
             + self.device.kernel_launch_overhead
         )
-        return CostEstimate(0.0, seconds, rows * predicate_selectivity(predicates))
+        return CostEstimate(0.0, seconds, rows * predicate_selectivity(predicates, table))
 
     def hash_join(
         self,

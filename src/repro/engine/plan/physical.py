@@ -23,7 +23,7 @@ from repro.core.jit.pipeline import JitOptions, KernelCache
 from repro.core.multithread import aggregation as mt_aggregation
 from repro.engine.plan.cost import CostEstimate, CostModel, OptimizerConfig
 from repro.engine.sql.ast_nodes import AggregateCall, Comparison, OrderKey, SelectItem
-from repro.errors import ExecutionError, PlanningError
+from repro.errors import ExecutionError, PlanningError, StorageError
 from repro.gpusim import executor as gpu_executor
 from repro.gpusim import occupancy as gpu_occupancy
 from repro.gpusim import timing as gpu_timing
@@ -92,6 +92,11 @@ class ExecutionReport:
     kernels_compiled: int = 0
     kernels_cached: int = 0
     simulated_rows: int = 0
+    #: Zone-map chunk pruning on the scanned codec columns: chunks whose
+    #: zone map proved the pushed-down filter unsatisfiable (never read or
+    #: shipped) vs total chunks scanned.
+    zone_chunks_skipped: int = 0
+    zone_chunks_total: int = 0
     #: Measured wall-clock spent in the data plane (register expansion,
     #: numpy limb kernels, oracle conversions for aggregation).  *Not* part
     #: of :attr:`total_seconds` -- the simulated times come from the timing
@@ -203,16 +208,55 @@ class PhysicalOp:
 
 
 class ScanOp(PhysicalOp):
-    """Read the needed columns from storage, then ship them over PCIe."""
+    """Read the needed columns from storage, then ship them over PCIe.
 
-    def __init__(self, columns: List[str]):
+    Columns with a storage codec are charged at their *encoded* wire size,
+    and pushed-down literal predicates (attached by the planner from an
+    adjacent filter) prune whole chunks through the zone-map index before
+    any byte is read or shipped.  Pruning affects only the simulated byte
+    accounting -- the batch always carries the full rows, and the filter
+    operator computes the exact mask, so results stay bit-exact.
+    """
+
+    def __init__(
+        self, columns: List[str], predicates: Optional[List[Comparison]] = None
+    ):
         self.columns = columns
+        #: Literal conjuncts from the immediately-following filter; used
+        #: only for zone-map chunk pruning, never for row elimination.
+        self.predicates = list(predicates or [])
 
     def run(self, batch: Optional[Batch], context: QueryContext) -> Batch:
         relation = context.relation
         scale = context.simulate_rows / max(relation.rows, 1)
-        bytes_per_real = relation.bytes_for(self.columns) if self.columns else 0
-        simulated_bytes = int(bytes_per_real * scale)
+        skip = _zone_skip_mask(relation, self.predicates) if self.predicates else None
+        kept_fraction = 1.0
+        if skip is not None:
+            kept_fraction = float(np.count_nonzero(~skip)) / max(relation.rows, 1)
+
+        # Per-column bytes this scan actually reads and ships: encoded wire
+        # size for codec columns (minus zone-skipped chunks), stored bytes
+        # (scaled by the surviving-row fraction) otherwise.
+        wire: Dict[str, float] = {}
+        for name in self.columns:
+            column = relation.column(name)
+            if column.codec is not None and isinstance(column.column_type, DecimalType):
+                encoding = column.encoding()
+                context.report.zone_chunks_total += len(encoding.chunks)
+                if skip is None:
+                    wire[name] = float(encoding.wire_bytes)
+                else:
+                    kept = 0
+                    for chunk in encoding.chunks:
+                        if skip[chunk.zone.row_start : chunk.zone.row_stop].all():
+                            context.report.zone_chunks_skipped += 1
+                        else:
+                            kept += chunk.wire_bytes
+                    wire[name] = float(kept)
+            else:
+                wire[name] = column.bytes_stored * kept_fraction
+
+        simulated_bytes = int(sum(wire.values()) * scale)
         if context.include_scan:
             context.report.scan_seconds += gpu_timing.disk_scan_time(simulated_bytes, context.host)
             context.report.scan_bytes += simulated_bytes
@@ -227,7 +271,7 @@ class ScanOp(PhysicalOp):
                     for name in self.columns
                     if context.residency.admit(
                         (relation.name, name, relation.column(name).version),
-                        relation.bytes_for([name]) * scale,
+                        wire[name] * scale,
                     )
                 ]
             if context.streaming.enabled:
@@ -235,11 +279,10 @@ class ScanOp(PhysicalOp):
                 # streams its transfer chunk-wise, overlapped with compute.
                 for name in ship:
                     context.pending_transfer[name] = (
-                        context.pending_transfer.get(name, 0.0)
-                        + relation.bytes_for([name]) * scale
+                        context.pending_transfer.get(name, 0.0) + wire[name] * scale
                     )
             else:
-                ship_bytes = int(relation.bytes_for(ship) * scale) if ship else 0
+                ship_bytes = int(sum(wire[name] for name in ship) * scale) if ship else 0
                 context.report.pcie_seconds += gpu_timing.pcie_time(
                     ship_bytes, context.device
                 )
@@ -276,7 +319,13 @@ class FilterOp(PhysicalOp):
                     batch.column(predicate.column_rhs),
                 )
             else:
-                mask &= _evaluate_predicate(batch.column(predicate.column), predicate)
+                column = batch.column(predicate.column)
+                encoded = _evaluate_predicate_encoded(column, predicate)
+                mask &= (
+                    encoded
+                    if encoded is not None
+                    else _evaluate_predicate(column, predicate)
+                )
         indices = np.nonzero(mask)[0]
         selectivity = len(indices) / max(batch.rows, 1)
         # Filter kernel: one pass over each *distinct* predicate column --
@@ -354,9 +403,9 @@ class _JoinOp(PhysicalOp):
             for name in (predicate.column, predicate.column_rhs):
                 if name is not None and name not in scan_columns:
                     scan_columns.append(name)
-        scanned_bytes = int(right_relation.bytes_for(scan_columns) * right_scale)
+        scanned_bytes = int(right_relation.wire_bytes_for(scan_columns) * right_scale)
         ship_bytes = int(
-            right_relation.bytes_for(self.right_columns) * right_scale * survival
+            right_relation.wire_bytes_for(self.right_columns) * right_scale * survival
         )
         if context.include_scan:
             context.report.scan_seconds += gpu_timing.disk_scan_time(
@@ -859,6 +908,88 @@ def _flush_pending_transfer(context: QueryContext, columns) -> None:
     if pending:
         context.report.pcie_seconds += gpu_timing.pcie_time(int(pending), context.device)
         context.report.pcie_bytes += pending
+
+
+def _zone_skip_mask(
+    relation: Relation, predicates: List[Comparison]
+) -> Optional[np.ndarray]:
+    """Rows living in chunks some zone map proves empty, or None.
+
+    Only literal conjuncts over codec-carrying DECIMAL columns contribute;
+    a chunk is skippable when any conjunct's zone verdict is ``False``
+    (no row in the chunk can satisfy it, hence none can satisfy the
+    conjunction).
+    """
+    skip: Optional[np.ndarray] = None
+    for predicate in predicates:
+        if predicate.column_rhs is not None or predicate.column not in relation:
+            continue
+        column = relation.column(predicate.column)
+        if column.codec is None or not isinstance(column.column_type, DecimalType):
+            continue
+        spec = column.column_type.spec
+        target = DecimalValue.from_literal(str(predicate.literal), spec).unscaled
+        for zone in column.encoding().zones:
+            if zone.evaluate(predicate.op, target) is False:
+                if skip is None:
+                    skip = np.zeros(relation.rows, dtype=bool)
+                skip[zone.row_start : zone.row_stop] = True
+    return skip
+
+
+def _order_to_mask(order: np.ndarray, op: str) -> np.ndarray:
+    if op == "=":
+        return order == 0
+    if op == "<>":
+        return order != 0
+    if op == "<":
+        return order < 0
+    if op == "<=":
+        return order <= 0
+    if op == ">":
+        return order > 0
+    return order >= 0
+
+
+def _evaluate_predicate_encoded(
+    column: Column, predicate: Comparison
+) -> Optional[np.ndarray]:
+    """Evaluate ``column <op> literal`` on encoded bytes, before expansion.
+
+    Applies only when the column carries an order-preserving codec and the
+    scan already materialised its encoding (never pay an encode just to
+    filter).  Chunks whose zone map decides the predicate outright skip
+    per-row work; mixed chunks compare encoded bytes against the encoded
+    literal, which by the order-preserving property equals the numeric
+    comparison -- so the mask is bit-identical to the expanded path's.
+    Returns None when the encoded path does not apply.
+    """
+    if not isinstance(column.column_type, DecimalType):
+        return None
+    codec = column.codec
+    if codec is None or not codec.order_preserving:
+        return None
+    encoding = column.cached_encoding()
+    if encoding is None:
+        return None
+    op = predicate.op
+    if op not in ("=", "<>", "<", "<=", ">", ">="):
+        return None
+    spec = column.column_type.spec
+    target = DecimalValue.from_literal(str(predicate.literal), spec).unscaled
+    try:
+        literal = codec.encode_literal(target, spec)
+    except StorageError:
+        return None
+    mask = np.zeros(column.rows, dtype=bool)
+    for chunk in encoding.chunks:
+        verdict = chunk.zone.evaluate(op, target)
+        rows = slice(chunk.zone.row_start, chunk.zone.row_stop)
+        if verdict is True:
+            mask[rows] = True
+        elif verdict is None:
+            mask[rows] = _order_to_mask(codec.compare_chunk(chunk, literal), op)
+    return mask
 
 
 def _evaluate_predicate(column: Column, predicate: Comparison) -> np.ndarray:

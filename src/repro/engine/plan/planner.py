@@ -127,12 +127,17 @@ def plan_query(
                     estimate = CostEstimate(0.0, 0.0, 0.0)
                 else:
                     estimate = cost_model.filter(
-                        node.predicates, _predicate_bytes(node.predicates, stats), rows
+                        node.predicates,
+                        _predicate_bytes(node.predicates, stats),
+                        rows,
+                        table=stats.main,
                     )
             if node.always_false:
                 rows = 0.0
             else:
-                rows *= predicate_selectivity(node.predicates)
+                rows *= predicate_selectivity(
+                    node.predicates, stats.main if stats is not None else None
+                )
         elif isinstance(node, LogicalAggregate):
             if node.group_by:
                 aggregates = [item for item in node.aggregates if item.is_aggregate]
@@ -189,7 +194,28 @@ def plan_query(
             raise PlanningError(f"unknown logical node {type(node).__name__}")
         op.estimated = estimate
         ops.append(op)
+    _push_zone_predicates(ops)
     return PhysicalPlan(ops, events, choices)
+
+
+def _push_zone_predicates(ops: List[PhysicalOp]) -> None:
+    """Attach the adjacent filter's literal conjuncts to the leading scan.
+
+    The scan uses them only for zone-map chunk pruning (byte accounting);
+    the filter still computes the exact mask, so this is always sound.
+    Conservatively limited to the scan-then-filter prefix -- a join or
+    project in between could change the row space the predicates see.
+    """
+    if len(ops) < 2 or not isinstance(ops[0], ScanOp):
+        return
+    filter_op = ops[1]
+    if not isinstance(filter_op, FilterOp) or filter_op.always_false:
+        return
+    ops[0].predicates = [
+        predicate
+        for predicate in filter_op.predicates
+        if predicate.column_rhs is None
+    ]
 
 
 def _plan_join(
@@ -213,7 +239,7 @@ def _plan_join(
     if right is None or cost_model is None:
         return HashJoinOp(node.join, node.right_columns, node.right_predicates), None
     scale = stats.simulate_rows / max(stats.main.rows, 1)
-    survival = predicate_selectivity(node.right_predicates)
+    survival = predicate_selectivity(node.right_predicates, right)
     right_rows = right.rows * scale * survival
     right_bytes = right.bytes_for(node.right_columns) * right_rows
     if not optimizer.choose_join:

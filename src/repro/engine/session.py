@@ -140,6 +140,8 @@ class Database:
                         old.name,
                         old.column_type,
                         np.concatenate([old.data, new.data], axis=0),
+                        codec=old.codec,
+                        encoding_chunk_rows=old.encoding_chunk_rows,
                     )
                     for old, new in zip(current.columns, addition.columns)
                 ],

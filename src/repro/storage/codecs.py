@@ -1,0 +1,339 @@
+"""Pluggable storage codecs for decimal columns, with per-chunk zone maps.
+
+The compact ``(N, Lb)`` layout of section III-B is a *fixed-width*
+encoding: every row pays for the declared precision's worst case, and the
+streaming model (DESIGN.md §5) is transfer-bound exactly where those bytes
+cross PCIe.  This module turns bytes-on-the-wire into a per-column choice:
+
+* :class:`CompactCodec` -- the existing layout, unchanged on the wire;
+* :class:`OrderPreservingCodec` -- a decimalInfinite-style variable-length
+  encoding (:mod:`repro.core.decimal.dinf`) whose byte order equals
+  numeric order, so filters compare encoded bytes before expansion;
+* :class:`NarrowCodec` -- a fixed 4-byte offset-binary container for
+  columns the analyzer's range pass *proves* fit signed int32
+  (``RANGE005``, :func:`repro.analysis.ranges.prove_narrow_container`).
+  Constructing it without a proof raises; encoding re-validates every
+  value so an observed-interval proof can never be silently violated by
+  later appends.
+
+Every codec (compact included) records a :class:`ZoneMap` per chunk at
+encode time -- min/max unscaled value, null and zero counts -- so scans
+skip chunks a pushed-down filter provably rejects and the cost model
+refines selectivity estimates from real data ranges.
+
+The compact matrix stays the in-memory source of truth on
+:class:`~repro.storage.column.Column`; an :class:`EncodedColumn` is the
+wire/disk representation the scan, streaming, residency and cost layers
+charge.  Results always materialise from the compact bytes, so codecs can
+never change answers -- only the simulated byte volume and the filter
+evaluation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.decimal import dinf
+from repro.core.decimal.context import DecimalSpec
+from repro.errors import StorageError
+
+#: Rows per encoded chunk (and zone map) unless the column overrides it.
+DEFAULT_CHUNK_ROWS = 4096
+
+#: Bytes per value of the narrow 32-bit container.
+NARROW_WIDTH = 4
+
+_INT32_MAX = (1 << 31) - 1
+_NARROW_OFFSET = 1 << 31
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-chunk statistics recorded at encode time.
+
+    ``min_unscaled``/``max_unscaled`` are exact (computed from the data,
+    not the spec), so both pruning verdicts are sound: a chunk whose whole
+    range fails a predicate can be skipped, one whose whole range passes
+    needs no per-row work.  The engine stores no NULLs, so ``null_count``
+    is always 0 here -- kept in the format for fidelity with the
+    decimalInfinite-style on-disk layout.
+    """
+
+    row_start: int
+    rows: int
+    min_unscaled: int
+    max_unscaled: int
+    null_count: int = 0
+    zero_count: int = 0
+
+    @property
+    def row_stop(self) -> int:
+        return self.row_start + self.rows
+
+    def evaluate(self, op: str, literal: int) -> Optional[bool]:
+        """Chunk-level verdict of ``column <op> literal``.
+
+        ``True``: every row matches; ``False``: no row matches; ``None``:
+        the zone cannot decide and rows must be compared individually.
+        """
+        lo, hi = self.min_unscaled, self.max_unscaled
+        if op == "<":
+            return True if hi < literal else (False if lo >= literal else None)
+        if op == "<=":
+            return True if hi <= literal else (False if lo > literal else None)
+        if op == ">":
+            return True if lo > literal else (False if hi <= literal else None)
+        if op == ">=":
+            return True if lo >= literal else (False if hi < literal else None)
+        if op == "=":
+            if literal < lo or literal > hi:
+                return False
+            return True if lo == hi == literal else None
+        if op == "<>":
+            if literal < lo or literal > hi:
+                return True
+            return False if lo == hi == literal else None
+        return None
+
+
+@dataclass
+class EncodedChunk:
+    """One chunk's encoded payload plus its zone map."""
+
+    zone: ZoneMap
+    #: Codec-specific byte matrix, ``(rows, width)`` uint8 (zero-padded for
+    #: variable-length codecs; see :func:`repro.core.decimal.dinf.encode`).
+    data: np.ndarray
+    #: Per-row true encoded lengths; ``None`` for fixed-width codecs.
+    lengths: Optional[np.ndarray]
+    #: Bytes this chunk puts on the wire (padding excluded).
+    wire_bytes: int
+
+
+@dataclass
+class EncodedColumn:
+    """A decimal column's wire representation under one codec."""
+
+    codec: "DecimalCodec"
+    spec: DecimalSpec
+    chunk_rows: int
+    chunks: List[EncodedChunk] = field(default_factory=list)
+
+    @property
+    def rows(self) -> int:
+        return sum(chunk.zone.rows for chunk in self.chunks)
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(chunk.wire_bytes for chunk in self.chunks)
+
+    @property
+    def zones(self) -> List[ZoneMap]:
+        return [chunk.zone for chunk in self.chunks]
+
+
+class DecimalCodec:
+    """Base codec: chunked encode with zone maps, decode, byte compare."""
+
+    name: str = "abstract"
+    #: Whether ``memcmp`` over encoded bytes equals numeric comparison.
+    order_preserving: bool = False
+
+    # -- per-chunk primitives (codec-specific) ------------------------------
+
+    def _encode_chunk(
+        self,
+        values: List[int],
+        compact_slice: np.ndarray,
+        spec: DecimalSpec,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        """Encode one chunk; returns ``(data, lengths, wire_bytes)``."""
+        raise NotImplementedError
+
+    def decode_chunk(self, chunk: EncodedChunk, spec: DecimalSpec) -> List[int]:
+        """Signed unscaled values of one chunk (round-trip oracle)."""
+        raise NotImplementedError
+
+    def encode_literal(self, unscaled: int, spec: DecimalSpec) -> np.ndarray:
+        """Encode a comparison literal; raises when unrepresentable."""
+        raise StorageError(f"codec {self.name!r} cannot encode comparison literals")
+
+    def compare_chunk(self, chunk: EncodedChunk, literal: np.ndarray) -> np.ndarray:
+        """Rowwise -1/0/+1 of chunk rows vs an encoded literal."""
+        raise StorageError(f"codec {self.name!r} does not compare encoded bytes")
+
+    # -- column-level driver ------------------------------------------------
+
+    def encode_column(
+        self,
+        compact: np.ndarray,
+        unscaled: Sequence[int],
+        spec: DecimalSpec,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> EncodedColumn:
+        """Chunk a column, encode each chunk, record its zone map."""
+        if chunk_rows <= 0:
+            raise StorageError(f"chunk_rows must be positive, got {chunk_rows}")
+        rows = len(unscaled)
+        encoded = EncodedColumn(codec=self, spec=spec, chunk_rows=chunk_rows)
+        for start in range(0, rows, chunk_rows):
+            values = list(unscaled[start : start + chunk_rows])
+            data, lengths, wire = self._encode_chunk(
+                values, compact[start : start + len(values)], spec
+            )
+            zone = ZoneMap(
+                row_start=start,
+                rows=len(values),
+                min_unscaled=min(values),
+                max_unscaled=max(values),
+                null_count=0,
+                zero_count=sum(1 for v in values if v == 0),
+            )
+            encoded.chunks.append(EncodedChunk(zone, data, lengths, wire))
+        return encoded
+
+
+class CompactCodec(DecimalCodec):
+    """The section III-B byte-aligned layout, chunked with zone maps.
+
+    The wire bytes are identical to the stored bytes; what this codec adds
+    over "no codec" is the zone-map index, so scans over clustered data
+    still skip chunks even without re-encoding.
+    """
+
+    name = "compact"
+    order_preserving = False
+
+    def _encode_chunk(self, values, compact_slice, spec):
+        data = np.ascontiguousarray(compact_slice)
+        return data, None, int(data.nbytes)
+
+    def decode_chunk(self, chunk, spec):
+        from repro.core.decimal.vectorized import DecimalVector
+
+        return DecimalVector.from_compact(chunk.data, spec).to_unscaled()
+
+
+class OrderPreservingCodec(DecimalCodec):
+    """decimalInfinite-style variable-length encoding (``repro.core.decimal.dinf``)."""
+
+    name = "dinf"
+    order_preserving = True
+
+    def _encode_chunk(self, values, compact_slice, spec):
+        if not dinf.supports(spec.max_unscaled):
+            raise StorageError(
+                f"{spec} exceeds the order-preserving codec's "
+                f"{dinf.MAX_MAGNITUDE_BYTES}-byte magnitude cap"
+            )
+        data, lengths = dinf.encode(values)
+        return data, lengths, int(lengths.sum())
+
+    def decode_chunk(self, chunk, spec):
+        assert chunk.lengths is not None
+        return dinf.decode(chunk.data, chunk.lengths)
+
+    def encode_literal(self, unscaled, spec):
+        return dinf.encode_one(int(unscaled))
+
+    def compare_chunk(self, chunk, literal):
+        return dinf.compare(chunk.data, literal)
+
+
+class NarrowCodec(DecimalCodec):
+    """Proven-narrow 32-bit container (offset-binary, big-endian).
+
+    Each value is stored as ``uint32(v + 2**31)`` big-endian -- 4 fixed
+    bytes whose memcmp order equals numeric order.  Only constructible
+    from a ``RANGE005`` :class:`~repro.analysis.ranges.NarrowContainerProof`
+    for the exact column spec; encode re-checks every value against the
+    container, so data that outgrows an observed-interval proof (e.g.
+    after an append) raises rather than truncating.
+    """
+
+    name = "narrow32"
+    order_preserving = True
+
+    def __init__(self, proof) -> None:
+        from repro.analysis.ranges import NarrowContainerProof
+
+        if not isinstance(proof, NarrowContainerProof):
+            raise StorageError(
+                "the narrow 32-bit codec requires a RANGE005 narrow-container "
+                "proof from the analyzer's range pass"
+            )
+        self.proof = proof
+
+    def _require_spec(self, spec: DecimalSpec) -> None:
+        if spec != self.proof.spec:
+            raise StorageError(
+                f"narrow-container proof covers {self.proof.spec}, not {spec}"
+            )
+
+    def _encode_chunk(self, values, compact_slice, spec):
+        self._require_spec(spec)
+        arr = np.array(values, dtype=object)
+        if len(values) and (
+            min(values) < -_INT32_MAX - 1 or max(values) > _INT32_MAX
+        ):
+            raise StorageError(
+                "column data exceeds the proven 32-bit narrow container "
+                f"(proof interval [{self.proof.lo}, {self.proof.hi}])"
+            )
+        offset = (arr + _NARROW_OFFSET).astype(np.uint32)
+        data = np.ascontiguousarray(offset.astype(">u4")).view(np.uint8)
+        data = data.reshape(len(values), NARROW_WIDTH)
+        return data, None, int(data.nbytes)
+
+    def decode_chunk(self, chunk, spec):
+        folded = np.ascontiguousarray(chunk.data).view(">u4").ravel()
+        return [int(v) - _NARROW_OFFSET for v in folded.tolist()]
+
+    def encode_literal(self, unscaled, spec):
+        self._require_spec(spec)
+        if not -_NARROW_OFFSET <= int(unscaled) <= _INT32_MAX:
+            raise StorageError(f"literal {unscaled} exceeds the narrow container")
+        value = np.uint32(int(unscaled) + _NARROW_OFFSET)
+        return np.array([value], dtype=">u4").view(np.uint8).copy()
+
+    def compare_chunk(self, chunk, literal):
+        return dinf.compare(chunk.data, literal)
+
+
+def choose_codec(
+    spec: DecimalSpec, unscaled: Optional[Sequence[int]] = None
+) -> DecimalCodec:
+    """Pick the smallest-wire codec a column qualifies for.
+
+    The narrow container is a candidate only under a ``RANGE005`` proof --
+    from the declared spec, or from the observed min/max interval when the
+    column's values are supplied (the same statistics zone maps record).
+    Among qualifying codecs the one with the smallest wire size wins;
+    ties prefer order-preserving codecs (they unlock encoded-byte filters
+    and chunk skipping on mixed chunks).
+    """
+    from repro.analysis.ranges import prove_narrow_container
+
+    rows = len(unscaled) if unscaled is not None else 0
+    observed = (min(unscaled), max(unscaled)) if rows else None
+    proof = prove_narrow_container(spec, observed=observed)
+
+    compact_wire = spec.compact_bytes * max(rows, 1)
+    candidates: List[Tuple[int, int, DecimalCodec]] = [
+        (compact_wire, 2, CompactCodec())
+    ]
+    if dinf.supports(spec.max_unscaled):
+        if rows:
+            dinf_wire = sum(
+                1 + (abs(v).bit_length() + 7) // 8 for v in unscaled
+            )
+        else:
+            dinf_wire = dinf.max_encoded_bytes(spec.max_unscaled)
+        candidates.append((dinf_wire, 0, OrderPreservingCodec()))
+    if proof is not None:
+        candidates.append((NARROW_WIDTH * max(rows, 1), 1, NarrowCodec(proof)))
+    _wire, _rank, codec = min(candidates, key=lambda entry: (entry[0], entry[1]))
+    return codec

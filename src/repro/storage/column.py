@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.decimal.context import DecimalSpec
 from repro.core.decimal.vectorized import DecimalVector
 from repro.errors import SchemaError
+from repro.storage.codecs import DEFAULT_CHUNK_ROWS, DecimalCodec, EncodedColumn
 from repro.storage.schema import (
     CharType,
     ColumnType,
@@ -40,8 +41,16 @@ class Column:
     name: str
     column_type: ColumnType
     data: np.ndarray  # (N, Lb) uint8 for DECIMAL; (N,) otherwise
+    #: Wire/disk codec for DECIMAL columns; ``None`` ships compact bytes
+    #: as-is with no zone-map index (the pre-codec behaviour).
+    codec: Optional[DecimalCodec] = None
+    #: Rows per encoded chunk / zone map; ``None`` -> codec default.
+    encoding_chunk_rows: Optional[int] = None
     _version: int = field(init=False, repr=False, compare=False)
     _vector_cache: "Optional[Tuple[int, DecimalVector]]" = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _encoding_cache: "Optional[Tuple[int, EncodedColumn]]" = field(
         init=False, repr=False, compare=False, default=None
     )
 
@@ -69,6 +78,7 @@ class Column:
         """
         self._version = next(_VERSIONS)
         self._vector_cache = None
+        self._encoding_cache = None
 
     @property
     def rows(self) -> int:
@@ -78,6 +88,17 @@ class Column:
     def bytes_stored(self) -> int:
         """Bytes this column occupies on disk / in memory."""
         return int(self.data.nbytes)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this column puts on the PCIe wire under its codec.
+
+        Falls back to :attr:`bytes_stored` when no codec is attached (or
+        the column is not DECIMAL), so pre-codec accounting is unchanged.
+        """
+        if self.codec is None or not isinstance(self.column_type, DecimalType):
+            return self.bytes_stored
+        return self.encoding().wire_bytes
 
     # ------------------------------------------------------------- decimals
 
@@ -115,6 +136,54 @@ class Column:
             raise SchemaError(f"column {self.name!r} is not DECIMAL")
         return self.column_type.spec
 
+    # ---------------------------------------------------------------- codecs
+
+    def with_codec(
+        self, codec: Optional[DecimalCodec], chunk_rows: Optional[int] = None
+    ) -> "Column":
+        """A new Column over the same compact bytes with ``codec`` attached."""
+        self._decimal_spec()
+        return Column(
+            self.name,
+            self.column_type,
+            self.data,
+            codec=codec,
+            encoding_chunk_rows=chunk_rows,
+        )
+
+    def encoding(self) -> EncodedColumn:
+        """Encode under the attached codec (chunked, zone maps included).
+
+        Version-keyed like :meth:`decimal_vector`: the encode runs once per
+        (data, codec) generation, and ``Database.append`` building fresh
+        Columns naturally invalidates -- snapshot isolation for zone maps.
+        """
+        if self.codec is None:
+            raise SchemaError(f"column {self.name!r} has no storage codec")
+        spec = self._decimal_spec()
+        cached = self._encoding_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        chunk_rows = self.encoding_chunk_rows or DEFAULT_CHUNK_ROWS
+        encoded = self.codec.encode_column(
+            self.data, self.unscaled(), spec, chunk_rows=chunk_rows
+        )
+        self._encoding_cache = (self._version, encoded)
+        return encoded
+
+    def cached_encoding(self) -> Optional[EncodedColumn]:
+        """The current-version encoding if already materialised, else None.
+
+        Lets filter operators use encoded-byte comparisons only when the
+        scan (or the cost model) has already paid for the encode.
+        """
+        if self.codec is None:
+            return None
+        cached = self._encoding_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        return None
+
     # --------------------------------------------------------------- others
 
     @classmethod
@@ -136,8 +205,20 @@ class Column:
 
     def take(self, indices: np.ndarray) -> "Column":
         """Row subset (selection vectors from filters)."""
-        return Column(self.name, self.column_type, self.data[indices])
+        return Column(
+            self.name,
+            self.column_type,
+            self.data[indices],
+            codec=self.codec,
+            encoding_chunk_rows=self.encoding_chunk_rows,
+        )
 
     def head(self, count: int) -> "Column":
         """First ``count`` rows (benchmark sampling)."""
-        return Column(self.name, self.column_type, self.data[:count])
+        return Column(
+            self.name,
+            self.column_type,
+            self.data[:count],
+            codec=self.codec,
+            encoding_chunk_rows=self.encoding_chunk_rows,
+        )

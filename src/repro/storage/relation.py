@@ -9,10 +9,11 @@ section III-B) -- which is what lets the JIT engine bake them into kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.decimal.context import DecimalSpec
 from repro.errors import SchemaError
+from repro.storage.codecs import DecimalCodec
 from repro.storage.column import Column
 from repro.storage.schema import is_decimal
 
@@ -74,6 +75,36 @@ class Relation:
     def bytes_for(self, names) -> int:
         """Stored bytes of a column subset (what a query actually moves)."""
         return sum(self.column(name).bytes_stored for name in names)
+
+    def wire_bytes_for(self, names) -> int:
+        """Encoded wire bytes of a column subset under the attached codecs.
+
+        Equals :meth:`bytes_for` when no column in the subset has a codec.
+        """
+        return sum(self.column(name).wire_bytes for name in names)
+
+    def with_codecs(
+        self,
+        codecs: Dict[str, Optional[DecimalCodec]],
+        chunk_rows: Optional[int] = None,
+    ) -> "Relation":
+        """A new Relation with storage codecs attached to named columns.
+
+        Columns not named in ``codecs`` keep their current codec; the
+        underlying compact byte matrices are shared, not copied.
+        """
+        unknown = set(codecs) - set(self.column_names)
+        if unknown:
+            raise SchemaError(
+                f"relation {self.name!r} has no columns {sorted(unknown)}"
+            )
+        columns = [
+            column.with_codec(codecs[column.name], chunk_rows=chunk_rows)
+            if column.name in codecs
+            else column
+            for column in self.columns
+        ]
+        return Relation(self.name, columns)
 
     def head(self, count: int) -> "Relation":
         """First ``count`` rows of every column (benchmark sampling)."""
