@@ -1,17 +1,19 @@
-"""Extension: fully-executed TPC-H Q6 and a Q3-style join query.
+"""Extension: fully-executed TPC-H Q6 and Q3/Q5/Q10-style join queries.
 
 Table I's comparison is profile-driven (the paper only asserts parity);
-this bench runs Q6 (filter + DECIMAL product aggregation) and a Q3-style
-two-join query *end to end* through the engine -- real predicate
+this bench runs Q6 (filter + DECIMAL product aggregation) and Q3/Q5/Q10
+style join queries *end to end* through the engine -- real predicate
 evaluation, cost-chosen joins with build-side predicate pushdown,
-JIT-compiled decimal kernels, grouped aggregation -- with results
-verified against row-at-a-time oracles in the test suite.
+statistics-driven join reordering, JIT-compiled decimal kernels, grouped
+aggregation -- with results verified against row-at-a-time oracles in
+the test suite.
 
-The Q3-style query also runs with the plan optimizer disabled: the
+Every join query also runs with the plan optimizer disabled: the
 optimized plan must return bit-identical rows while moving fewer
-simulated scan/PCIe bytes (build-side pushdown ships only surviving
-rows; projection pruning drops predicate-only columns from the ship
-set).
+simulated scan/PCIe bytes, and the "join order" column records the
+executed join sequence so the smoke check can assert the reorderer's
+golden plans (Q5: customer -> nation -> lineitem; Q10: lineitem first
+once the returnflag filter sinks into its build side).
 
 Also runnable as a script for the CI smoke check::
 
@@ -26,15 +28,25 @@ from repro.bench.harness import Experiment
 from repro.engine import Database
 from repro.engine.plan.cost import OptimizerConfig
 from repro.storage import tpch
-from repro.workloads.tpch_queries import Q3_SQL, Q6_SQL
+from repro.workloads.tpch_queries import Q3_SQL, Q5_SQL, Q6_SQL, Q10_SQL
 
 MB = 1e6
+
+
+def _join_order(db: Database, sql: str, optimizer=None) -> str:
+    """The executed join sequence of a query, from its EXPLAIN operators."""
+    explain = db.explain(sql, optimizer=optimizer)
+    return " -> ".join(
+        line.split()[1]
+        for line in explain.operators
+        if line.startswith(("HashJoin", "NestedLoopJoin"))
+    )
 
 
 def run_experiment(rows: int = 2500, simulate_rows: int = 10_000_000) -> Experiment:
     headers = [
         "query", "UltraPrecise (s)", "PostgreSQL model (s)", "PG / UP",
-        "output rows", "scan MB", "PCIe MB",
+        "output rows", "scan MB", "PCIe MB", "join order",
     ]
     table = []
 
@@ -52,7 +64,7 @@ def run_experiment(rows: int = 2500, simulate_rows: int = 10_000_000) -> Experim
     table.append(
         ["Q6", q6.report.total_seconds, pg_q6.seconds,
          pg_q6.seconds / q6.report.total_seconds, len(q6.rows),
-         q6.report.scan_bytes / MB, q6.report.pcie_bytes / MB]
+         q6.report.scan_bytes / MB, q6.report.pcie_bytes / MB, "-"]
     )
 
     # Q3-style -- two cost-chosen joins + grouped revenue, optimizer on/off.
@@ -77,25 +89,61 @@ def run_experiment(rows: int = 2500, simulate_rows: int = 10_000_000) -> Experim
     table.append(
         ["Q3-style", q3.report.total_seconds, pg_q3.seconds,
          pg_q3.seconds / q3.report.total_seconds, len(q3.rows),
-         q3.report.scan_bytes / MB, q3.report.pcie_bytes / MB]
+         q3.report.scan_bytes / MB, q3.report.pcie_bytes / MB,
+         _join_order(db3, Q3_SQL)]
     )
     table.append(
         ["Q3-style (no optimizer)", q3_naive.report.total_seconds, pg_q3.seconds,
          pg_q3.seconds / q3_naive.report.total_seconds, len(q3_naive.rows),
-         q3_naive.report.scan_bytes / MB, q3_naive.report.pcie_bytes / MB]
+         q3_naive.report.scan_bytes / MB, q3_naive.report.pcie_bytes / MB,
+         _join_order(db3, Q3_SQL, optimizer=OptimizerConfig.off())]
     )
+
+    # Q5/Q10-style -- multi-join queries whose SQL is written in a
+    # deliberately bad join order; the statistics-driven reorderer must
+    # pick a cheaper sequence while staying bit-exact.
+    db3.register(tpch.nation())
+    for name, sql in [("Q5-style", Q5_SQL), ("Q10-style", Q10_SQL)]:
+        db3.kernel_cache.clear()
+        optimized = db3.execute(sql, include_scan=False)
+        db3.kernel_cache.clear()
+        naive = db3.execute(sql, include_scan=False, optimizer=OptimizerConfig.off())
+        if optimized.rows != naive.rows or optimized.column_names != naive.column_names:
+            raise AssertionError(f"optimized {name} plan diverged from the unoptimized plan")
+        pg = postgres.run_sum(
+            db3.catalog.get("lineitem").head(256),
+            "l_extendedprice * (1 - l_discount)",
+            simulate_rows=simulate_rows, include_scan=False,
+        )
+        table.append(
+            [name, optimized.report.total_seconds, pg.seconds,
+             pg.seconds / optimized.report.total_seconds, len(optimized.rows),
+             optimized.report.scan_bytes / MB, optimized.report.pcie_bytes / MB,
+             _join_order(db3, sql)]
+        )
+        table.append(
+            [f"{name} (no optimizer)", naive.report.total_seconds, pg.seconds,
+             pg.seconds / naive.report.total_seconds, len(naive.rows),
+             naive.report.scan_bytes / MB, naive.report.pcie_bytes / MB,
+             _join_order(db3, sql, optimizer=OptimizerConfig.off())]
+        )
 
     return Experiment(
         experiment_id="ext_tpch_real",
-        title="Fully-executed TPC-H Q6 + Q3-style join (10M tuples simulated)",
+        title="Fully-executed TPC-H Q6 + Q3/Q5/Q10-style joins (10M tuples simulated)",
         headers=headers,
         rows=table,
         notes=[
             "results verified against row-at-a-time oracles in "
             "tests/workloads/test_tpch_real_queries.py",
-            "Q3-style rows are bit-identical with the optimizer on and off; "
-            "the optimized plan ships fewer PCIe bytes (build-side pushdown "
+            "join-query rows are bit-identical with the optimizer on and off; "
+            "the optimized plans ship fewer PCIe bytes (build-side pushdown "
             "+ projection pruning)",
+            "Q5/Q10 SQL is written in a deliberately bad join order; the "
+            "'join order' column shows the statistics-driven reorder "
+            "(Q5: customer -> nation -> lineitem defers the big lineitem "
+            "join; Q10: lineitem joins first once l_returnflag = 'R' sinks "
+            "into its build side)",
         ],
     )
 
@@ -123,6 +171,19 @@ def test_ext_tpch_real(benchmark, experiment):
     assert rows["Q3-style"][4] <= 10
     # The optimizer strictly reduces Q3's simulated transfer volume.
     assert rows["Q3-style"][6] < rows["Q3-style (no optimizer)"][6]
+    # The reorderer produced its golden multi-join sequences.
+    for query, golden in GOLDEN_JOIN_ORDERS.items():
+        assert rows[query][7] == golden, query
+
+
+#: The join sequences the reorderer must produce (run_experiment already
+#: asserts bit-exactness against the optimizer-off plans).
+GOLDEN_JOIN_ORDERS = {
+    "Q5-style": "customer -> nation -> lineitem",
+    "Q5-style (no optimizer)": "lineitem -> customer -> nation",
+    "Q10-style": "lineitem -> customer",
+    "Q10-style (no optimizer)": "customer -> lineitem",
+}
 
 
 def _smoke(rows: int) -> int:
@@ -139,9 +200,14 @@ def _smoke(rows: int) -> int:
     if cells["Q6"][3] <= 1.0 or optimized[3] <= 1.0:
         print("FAIL: engine lost to the PostgreSQL model on a hot path")
         return 1
+    for query, golden in GOLDEN_JOIN_ORDERS.items():
+        actual = cells[query][7]
+        if actual != golden:
+            print(f"FAIL: {query} join order {actual!r} != golden {golden!r}")
+            return 1
     print(
-        f"smoke OK: Q3 bit-exact, PCIe {naive[6]:.1f} -> {optimized[6]:.1f} MB "
-        f"with the optimizer on"
+        f"smoke OK: Q3/Q5/Q10 bit-exact, PCIe {naive[6]:.1f} -> {optimized[6]:.1f} MB "
+        f"on Q3, Q5 reordered to [{cells['Q5-style'][7]}]"
     )
     return 0
 

@@ -26,6 +26,9 @@ def test_table1(benchmark, experiment):
             assert abs(delta) < 5  # parity, "consistent and comparable"
     # Paper's two regressions specifically.
     assert rows["Q18"][5] == "yes" and rows["Q20"][5] == "yes"
+    # The end-to-end queries (ext_tpch_real) are flagged, Q5/Q10 included.
+    for name in table1_tpch.FULLY_EXECUTED:
+        assert rows[name][6] == "yes"
     # Modelled values land near the paper's UltraPrecise column.
     for row in rows.values():
         assert row[2] == pytest.approx(row[3], rel=0.35)

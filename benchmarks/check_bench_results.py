@@ -51,6 +51,16 @@ REQUIRED_KEYS = ("id", "title", "headers", "rows")
 #: Artifacts whose header layout downstream gates depend on (CI smoke
 #: checks, EXPERIMENTS.md narratives).  Validated exactly, in order.
 EXPECTED_HEADERS = {
+    "ext_tpch_real": [
+        "query",
+        "UltraPrecise (s)",
+        "PostgreSQL model (s)",
+        "PG / UP",
+        "output rows",
+        "scan MB",
+        "PCIe MB",
+        "join order",
+    ],
     "ext_compression": [
         "query",
         "LEN",

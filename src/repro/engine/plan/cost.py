@@ -45,6 +45,9 @@ class OptimizerConfig:
     enabled: bool = True
     #: Run the logical rewrite rules (pushdown, merge, pruning).
     rewrite: bool = True
+    #: Statistics-driven multi-join reordering (requires ``rewrite``: the
+    #: reorder pass runs inside the rewrite-rule engine).
+    reorder_joins: bool = True
     #: Cost-based hash vs nested-loop join choice.
     choose_join: bool = True
     #: Cost-based stream chunk sizing / serial fallback per kernel.
@@ -52,11 +55,18 @@ class OptimizerConfig:
 
     @classmethod
     def off(cls) -> "OptimizerConfig":
-        return cls(enabled=False, rewrite=False, choose_join=False, choose_streaming=False)
+        return cls(
+            enabled=False,
+            rewrite=False,
+            reorder_joins=False,
+            choose_join=False,
+            choose_streaming=False,
+        )
 
     def __post_init__(self) -> None:
         if not self.enabled:
             object.__setattr__(self, "rewrite", False)
+            object.__setattr__(self, "reorder_joins", False)
             object.__setattr__(self, "choose_join", False)
             object.__setattr__(self, "choose_streaming", False)
 
@@ -76,6 +86,11 @@ class TableStats:
     #: Zone-map index per codec-carrying DECIMAL column, for data-aware
     #: selectivity estimates (see :meth:`zone_fraction`).
     zones: Dict[str, List[ZoneMap]] = field(default_factory=dict)
+    #: The relation's Column objects, for lazy per-column statistics
+    #: (NDV / histograms -- see :meth:`column_stats`).  Optional so
+    #: hand-built TableStats (tests, profiles) keep working; without it
+    #: every statistics lookup declines and the System-R defaults apply.
+    columns: Dict[str, "object"] = field(default_factory=dict)
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "TableStats":
@@ -91,10 +106,49 @@ class TableStats:
             },
             column_types={column.name: column.column_type for column in relation.columns},
             zones=zones,
+            columns={column.name: column for column in relation.columns},
         )
 
     def bytes_for(self, names) -> float:
         return sum(self.column_bytes.get(name, 0.0) for name in names)
+
+    def column_stats(self, name: str):
+        """Lazy, column-version-cached statistics (NDV, histogram) or None."""
+        column = self.columns.get(name)
+        if column is None:
+            return None
+        from repro.engine.plan.stats import column_stats
+
+        return column_stats(column)
+
+    def ndv(self, name: str) -> Optional[int]:
+        """Distinct-value count of a column, or None without statistics."""
+        stats = self.column_stats(name)
+        return None if stats is None else stats.ndv
+
+    def histogram_fraction(self, predicate: Comparison) -> Optional[float]:
+        """Histogram estimate of a literal predicate's selectivity.
+
+        Applies to literal comparisons over DECIMAL columns whose
+        statistics carry an equi-depth histogram; the literal
+        canonicalises through the column's spec exactly as
+        :meth:`zone_fraction` does.  Returns None when out of scope.
+        """
+        if predicate.column_rhs is not None:
+            return None
+        column_type = self.column_types.get(predicate.column)
+        if not isinstance(column_type, DecimalType):
+            return None
+        stats = self.column_stats(predicate.column)
+        if stats is None or stats.histogram is None:
+            return None
+        try:
+            target = DecimalValue.from_literal(
+                str(predicate.literal), column_type.spec
+            ).unscaled
+        except Exception:
+            return None
+        return stats.histogram.fraction(predicate.op, target)
 
     def zone_fraction(self, predicate: Comparison) -> Optional[float]:
         """Zone-map upper bound on a literal predicate's selectivity.
@@ -152,6 +206,13 @@ class PlanStats:
                 return stats.column_types[column]
         return None
 
+    def column_ndv(self, column: str) -> Optional[int]:
+        """NDV of a column from whichever relation owns it, or None."""
+        for stats in [self.main, *self.joined.values()]:
+            if column in stats.column_types:
+                return stats.ndv(column)
+        return None
+
 
 #: Textbook default selectivities per comparison operator (System R):
 #: used only for node-cost *estimates*; execution charges actual counts.
@@ -163,19 +224,41 @@ def predicate_selectivity(
 ) -> float:
     """Estimated surviving fraction of a conjunct list.
 
-    With ``table`` statistics, literal conjuncts over zone-mapped columns
-    refine the System R defaults from the recorded min/max ranges (taking
-    the tighter of the two, since the zone bound is an upper bound).
+    With ``table`` statistics, literal conjuncts over DECIMAL columns read
+    their selectivity from the column's equi-depth histogram; the zone-map
+    fraction (an upper bound, since undecided chunks count at the textbook
+    default) then caps the estimate.  Conjuncts without statistics keep
+    the System R defaults.
     """
     fraction = 1.0
     for predicate in predicates:
         estimate = DEFAULT_SELECTIVITY.get(predicate.op, 0.5)
         if table is not None:
-            refined = table.zone_fraction(predicate)
-            if refined is not None:
-                estimate = min(estimate, refined)
+            histogram = table.histogram_fraction(predicate)
+            if histogram is not None:
+                estimate = histogram
+            zone = table.zone_fraction(predicate)
+            if zone is not None:
+                estimate = min(estimate, zone)
         fraction *= estimate
     return fraction
+
+
+def join_output_rows(
+    left_rows: float,
+    right_rows: float,
+    left_ndv: Optional[float],
+    right_ndv: Optional[float],
+) -> float:
+    """Textbook equi-join cardinality: ``|L| * |R| / max(ndv_L, ndv_R)``.
+
+    Falls back to ``left_rows`` (the historical assumption: every left row
+    matches exactly once, as in a foreign-key join) when either side's key
+    NDV is unknown.
+    """
+    if not left_ndv or not right_ndv:
+        return left_rows
+    return left_rows * right_rows / max(left_ndv, right_ndv, 1)
 
 
 @dataclass
@@ -334,7 +417,12 @@ class CostModel:
         the same comparison.
         """
         if simulate_rows <= 0:
-            return max(streaming.chunk_rows or DEFAULT_CHUNK_ROWS, 1)
+            # Explicit ``is None`` check, not truthiness: StreamingConfig
+            # validates chunk_rows >= 1 at construction, and a falsy-or here
+            # would silently re-default an (invalid) zero.
+            if streaming.chunk_rows is not None:
+                return streaming.chunk_rows
+            return DEFAULT_CHUNK_ROWS
         candidates = {simulate_rows}  # one chunk == serial execution
         if streaming.chunk_rows is not None:
             candidates.add(streaming.chunk_rows)

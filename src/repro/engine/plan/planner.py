@@ -22,6 +22,7 @@ from repro.engine.plan.cost import (
     CostModel,
     OptimizerConfig,
     PlanStats,
+    join_output_rows,
     predicate_selectivity,
 )
 from repro.engine.plan.logical import (
@@ -105,7 +106,11 @@ def plan_query(
     optimizer = optimizer if optimizer is not None else OptimizerConfig.off()
     logical = build_logical_plan(query, available_columns, joined_columns)
     nodes = chain_to_list(logical)
-    nodes, events = apply_rules(nodes, default_rules(optimize=optimizer.rewrite), stats)
+    nodes, events = apply_rules(
+        nodes,
+        default_rules(optimize=optimizer.rewrite, reorder_joins=optimizer.reorder_joins),
+        stats,
+    )
 
     choices: List[str] = []
     ops: List[PhysicalOp] = []
@@ -119,7 +124,9 @@ def plan_query(
             if costed:
                 estimate = cost_model.scan(stats.main.bytes_for(node.columns) * rows, rows)
         elif isinstance(node, LogicalJoin):
-            op, estimate = _plan_join(node, rows, stats, optimizer, cost_model, choices)
+            op, estimate, rows = _plan_join(
+                node, rows, stats, optimizer, cost_model, choices
+            )
         elif isinstance(node, LogicalFilter):
             op = FilterOp(node.predicates, always_false=node.always_false)
             if costed:
@@ -142,8 +149,7 @@ def plan_query(
             if node.group_by:
                 aggregates = [item for item in node.aggregates if item.is_aggregate]
                 op = GroupAggregateOp(node.group_by, aggregates)
-                # Square-root rule of thumb for the distinct-group count.
-                groups = max(1.0, math.sqrt(max(rows, 1.0)))
+                groups = _estimate_groups(node.group_by, rows, stats)
                 if costed:
                     key_bytes = sum(_column_bytes(stats, name) for name in node.group_by)
                     estimate = cost_model.group_aggregate(
@@ -173,9 +179,14 @@ def plan_query(
             op = FilterOp(node.predicates)
             if costed:
                 estimate = cost_model.filter(
-                    node.predicates, _predicate_bytes(node.predicates, stats), rows
+                    node.predicates,
+                    _predicate_bytes(node.predicates, stats),
+                    rows,
+                    table=stats.main,
                 )
-            rows *= predicate_selectivity(node.predicates)
+            rows *= predicate_selectivity(
+                node.predicates, stats.main if stats is not None else None
+            )
         elif isinstance(node, LogicalSort):
             op = SortOp(node.keys)
             if costed:
@@ -237,23 +248,65 @@ def _plan_join(
     """
     right = stats.table(node.join.table) if stats is not None else None
     if right is None or cost_model is None:
-        return HashJoinOp(node.join, node.right_columns, node.right_predicates), None
+        return (
+            HashJoinOp(node.join, node.right_columns, node.right_predicates),
+            None,
+            rows,
+        )
     scale = stats.simulate_rows / max(stats.main.rows, 1)
     survival = predicate_selectivity(node.right_predicates, right)
     right_rows = right.rows * scale * survival
     right_bytes = right.bytes_for(node.right_columns) * right_rows
+    # |L| * |R| / max(ndv(L.key), ndv(R.key)).  NDVs are catalog-scale, so
+    # inflate them by the same simulate factor as the row counts: a key
+    # column's distinct count grows with the relation it indexes.
+    left_ndv = stats.column_ndv(node.join.left_column)
+    right_ndv = right.ndv(node.join.right_column)
+    out_rows = join_output_rows(
+        rows,
+        right_rows,
+        left_ndv * scale if left_ndv else 0.0,
+        right_ndv * scale if right_ndv else 0.0,
+    )
     if not optimizer.choose_join:
-        estimate = cost_model.hash_join(rows, right_rows, right_bytes, rows)
-        return HashJoinOp(node.join, node.right_columns, node.right_predicates), estimate
-    name, estimate, candidates = cost_model.choose_join(rows, right_rows, right_bytes, rows)
+        estimate = cost_model.hash_join(rows, right_rows, right_bytes, out_rows)
+        return (
+            HashJoinOp(node.join, node.right_columns, node.right_predicates),
+            estimate,
+            out_rows,
+        )
+    name, estimate, candidates = cost_model.choose_join(
+        rows, right_rows, right_bytes, out_rows
+    )
     loser = next(key for key in candidates if key != name)
     choices.append(
         f"join {node.join.table}: {name} "
         f"({estimate.total_seconds:.4f}s vs {loser} "
-        f"{candidates[loser].total_seconds:.4f}s)"
+        f"{candidates[loser].total_seconds:.4f}s, est {out_rows:,.0f} rows out)"
     )
     op_type = HashJoinOp if name == "hash" else NestedLoopJoinOp
-    return op_type(node.join, node.right_columns, node.right_predicates), estimate
+    return op_type(node.join, node.right_columns, node.right_predicates), estimate, out_rows
+
+
+def _estimate_groups(
+    group_by: List[str], rows: float, stats: Optional[PlanStats]
+) -> float:
+    """Distinct-group estimate: product of the group keys' NDVs.
+
+    Capped by the input rows (a grouping cannot produce more groups than
+    rows) and falling back to the square-root rule of thumb when any key
+    has no statistics (computed columns, missing catalog entries).
+    """
+    fallback = max(1.0, math.sqrt(max(rows, 1.0)))
+    if stats is None:
+        return fallback
+    product = 1.0
+    for name in group_by:
+        ndv = stats.column_ndv(name)
+        if ndv is None:
+            return fallback
+        product *= max(ndv, 1)
+    return max(1.0, min(product, max(rows, 1.0)))
 
 
 def _column_bytes(stats: Optional[PlanStats], name: str) -> float:

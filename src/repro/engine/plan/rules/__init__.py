@@ -10,6 +10,9 @@ The stock rule set:
 
 * :class:`~repro.engine.plan.rules.predicates.PredicateSimplifyRule` --
   dedupe / range-tighten / contradiction-prove WHERE conjuncts;
+* :class:`~repro.engine.plan.rules.join_order.JoinReorderRule` -- reorder
+  multi-join runs by estimated intermediate cardinality (statistics-fed,
+  aggregate-gated for bit-exactness);
 * :class:`~repro.engine.plan.rules.pushdown.FilterPushdownRule` -- move
   conjuncts below joins, and into a join's build side where possible;
 * :class:`~repro.engine.plan.rules.projection.SortKeyRetentionRule` --
@@ -73,9 +76,12 @@ def apply_rules(
     return nodes, events
 
 
-def default_rules(optimize: bool = True) -> List[RewriteRule]:
+def default_rules(
+    optimize: bool = True, reorder_joins: bool = True
+) -> List[RewriteRule]:
     """The stock rule set; with ``optimize=False`` only the always-on
     correctness passes (sort-key retention) remain."""
+    from repro.engine.plan.rules.join_order import JoinReorderRule
     from repro.engine.plan.rules.predicates import PredicateSimplifyRule
     from repro.engine.plan.rules.projection import (
         ProjectionPruningRule,
@@ -85,9 +91,16 @@ def default_rules(optimize: bool = True) -> List[RewriteRule]:
 
     if not optimize:
         return [SortKeyRetentionRule()]
-    return [
-        PredicateSimplifyRule(),
-        FilterPushdownRule(),
-        SortKeyRetentionRule(),
-        ProjectionPruningRule(),
-    ]
+    rules: List[RewriteRule] = [PredicateSimplifyRule()]
+    if reorder_joins:
+        # Before pushdown: the reorder hoists interleaved loose filters
+        # above the joins, and pushdown re-sinks them on the same pass.
+        rules.append(JoinReorderRule())
+    rules.extend(
+        [
+            FilterPushdownRule(),
+            SortKeyRetentionRule(),
+            ProjectionPruningRule(),
+        ]
+    )
+    return rules

@@ -102,25 +102,51 @@ def parse_query(sql: str) -> Query:
     having: List[Comparison] = []
     order_by: List[OrderKey] = []
     limit = None
+    # Clause-order state machine: each clause carries a rank, and a clause
+    # at or below the rank already consumed is rejected -- so a duplicate
+    # (`WHERE .. WHERE ..`) or out-of-order (`GROUP BY .. WHERE ..`) clause
+    # raises instead of silently overwriting the earlier parse.  JOIN
+    # repeats freely at rank 0; everything above appears at most once.
+    clause_rank = {"JOIN": 0, "WHERE": 1, "GROUP BY": 2, "HAVING": 3, "ORDER BY": 4, "LIMIT": 5}
+    seen_rank = -1
+    seen_clauses: List[str] = []
+
+    def enter_clause(clause: str) -> None:
+        nonlocal seen_rank
+        rank = clause_rank[clause]
+        if clause != "JOIN" and clause in seen_clauses:
+            raise ParseError(f"duplicate {clause} clause")
+        if rank < seen_rank:
+            blocker = next(c for c in reversed(seen_clauses) if clause_rank[c] > rank)
+            raise ParseError(f"{clause} clause must come before {blocker}")
+        seen_rank = rank
+        seen_clauses.append(clause)
+
     while tokens.peek() is not None:
         if tokens.is_keyword("JOIN"):
+            enter_clause("JOIN")
             tokens.advance()
             joins.append(_parse_join(tokens))
         elif tokens.is_keyword("WHERE"):
+            enter_clause("WHERE")
             tokens.advance()
             where = _parse_where(tokens)
         elif tokens.is_keyword("GROUP"):
+            enter_clause("GROUP BY")
             tokens.advance()
             tokens.expect_keyword("BY")
             group_by = _parse_column_list(tokens)
         elif tokens.is_keyword("HAVING"):
+            enter_clause("HAVING")
             tokens.advance()
             having = _parse_where(tokens)
         elif tokens.is_keyword("ORDER"):
+            enter_clause("ORDER BY")
             tokens.advance()
             tokens.expect_keyword("BY")
             order_by = _parse_order_list(tokens)
         elif tokens.is_keyword("LIMIT"):
+            enter_clause("LIMIT")
             tokens.advance()
             kind, count = tokens.advance()
             if kind != "number" or "." in count:

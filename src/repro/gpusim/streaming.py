@@ -62,13 +62,21 @@ class StreamingConfig:
     #: Fraction of device memory one pipelined chunk set may occupy.
     memory_fraction: float = 0.125
 
+    def __post_init__(self) -> None:
+        # Validate at construction: ``chunk_rows=0`` used to survive until
+        # a falsy-or re-defaulted it deep in the cost model (the same bug
+        # class as the ``simulate_rows=0`` fix) -- fail loudly instead.
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ExecutionError(
+                f"chunk_rows must be >= 1 (got {self.chunk_rows}); "
+                "use chunk_rows=None for auto-sizing"
+            )
+
     def resolve_chunk_rows(
         self, kernel: ir.KernelIR, device: GpuDevice, tuples: Optional[int] = None
     ) -> int:
         """Rows per chunk for one kernel (explicit, or auto-sized)."""
         if self.chunk_rows is not None:
-            if self.chunk_rows < 1:
-                raise ExecutionError("chunk_rows must be positive")
             return self.chunk_rows
         # Double-buffered inputs (copy of chunk N+1 overlaps compute on N)
         # plus the result column written back.

@@ -53,6 +53,11 @@ class Column:
     _encoding_cache: "Optional[Tuple[int, EncodedColumn]]" = field(
         init=False, repr=False, compare=False, default=None
     )
+    #: Version-keyed planner statistics (an ``engine.plan.stats.ColumnStats``;
+    #: typed loosely so storage stays independent of the engine layer).
+    _stats_cache: "Optional[Tuple[int, object]]" = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         self._version = next(_VERSIONS)
@@ -79,6 +84,7 @@ class Column:
         self._version = next(_VERSIONS)
         self._vector_cache = None
         self._encoding_cache = None
+        self._stats_cache = None
 
     @property
     def rows(self) -> int:
@@ -183,6 +189,25 @@ class Column:
         if cached is not None and cached[0] == self._version:
             return cached[1]
         return None
+
+    # ------------------------------------------------------------ statistics
+
+    def cached_stats(self) -> Optional[object]:
+        """The current-version planner statistics, or None if stale/absent.
+
+        Collection itself lives in :mod:`repro.engine.plan.stats`; this
+        hook only stores the result against :attr:`version`, mirroring the
+        vector/encoding caches, so ``Database.append`` (fresh Columns) and
+        :meth:`invalidate` naturally discard stale statistics.
+        """
+        cached = self._stats_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        return None
+
+    def store_stats(self, stats: object) -> None:
+        """Cache planner statistics for the current column version."""
+        self._stats_cache = (self._version, stats)
 
     # --------------------------------------------------------------- others
 

@@ -112,17 +112,40 @@ def orders(rows: int = 5_000, seed: int = 17, lineitem_orders: int = 5_000) -> R
     )
 
 
+#: The 25 TPC-H nations (spec section 4.2.3), for Q5-style grouping.
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+
 def customer(rows: int = 500, seed: int = 19) -> Relation:
-    """The ``customer`` columns Q3 needs."""
+    """The ``customer`` columns Q3/Q5/Q10 need."""
     rng = np.random.default_rng(seed)
     segments = rng.choice(
         np.array(["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]), rows
     )
+    nationkeys = rng.integers(0, len(NATION_NAMES), rows)
     return Relation(
         "customer",
         [
             Column.integers("c_custkey", list(range(1, rows + 1))),
             Column.chars("c_mktsegment", [str(s) for s in segments], 10),
+            Column.integers("c_nationkey", [int(k) for k in nationkeys]),
+        ],
+    )
+
+
+def nation() -> Relation:
+    """The fixed 25-row ``nation`` relation (Q5's GROUP BY target)."""
+    return Relation(
+        "nation",
+        [
+            Column.integers("n_nationkey", list(range(len(NATION_NAMES)))),
+            Column.chars("n_name", NATION_NAMES, 25),
         ],
     )
 

@@ -67,6 +67,42 @@ ORDER BY revenue DESC
 LIMIT 10
 """
 
+#: A Q5-style local-supplier-volume query: three joins with revenue
+#: grouped per nation.  Written orders-first with lineitem joined *first*
+#: -- deliberately the worst valid order -- so the statistics-driven join
+#: reorderer has something to do: nation depends on customer, leaving
+#: [lineitem, customer, nation], [customer, lineitem, nation] and
+#: [customer, nation, lineitem] as the valid orders, of which the last
+#: keeps every intermediate at |orders| until the big lineitem join.
+Q5_SQL = """
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM orders
+JOIN lineitem ON o_orderkey = l_orderkey
+JOIN customer ON o_custkey = c_custkey
+JOIN nation ON c_nationkey = n_nationkey
+WHERE o_orderdate >= '1994-01-01'
+  AND o_orderdate < '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+#: A Q10-style returned-item-reporting query: revenue of returned items
+#: per customer.  Written customer-first; once the build-side pushdown
+#: sinks ``l_returnflag = 'R'`` into the lineitem join, the reorderer's
+#: second pass flips to joining the (now selective) lineitem first.
+Q10_SQL = """
+SELECT c_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM orders
+JOIN customer ON o_custkey = c_custkey
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE l_returnflag = 'R'
+  AND o_orderdate >= '1993-10-01'
+  AND o_orderdate < '1994-01-01'
+GROUP BY c_custkey
+ORDER BY revenue DESC
+LIMIT 20
+"""
+
 #: The per-query JIT cost UltraPrecise adds on queries with DECIMAL
 #: expressions (compile happens once; Table I queries are warm-cache in
 #: RateupDB, so the delta is small).

@@ -90,3 +90,57 @@ class TestErrors:
     def test_rejected(self, bad):
         with pytest.raises(ParseError):
             parse_query(bad)
+
+
+class TestClauseOrdering:
+    """Duplicate / out-of-order clauses must raise, not silently overwrite.
+
+    The clause loop historically re-assigned on a repeated keyword, so
+    ``WHERE a > 1 WHERE b > 2`` dropped the first predicate without a
+    trace; the parser now enforces SQL clause order with one rank per
+    clause.
+    """
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM r WHERE x > 1 WHERE y > 2",
+            "SELECT g, SUM(a) FROM r GROUP BY g GROUP BY g",
+            "SELECT g, SUM(a) FROM r GROUP BY g HAVING g > 1 HAVING g > 2",
+            "SELECT a FROM r ORDER BY a ORDER BY a DESC",
+            "SELECT a FROM r LIMIT 5 LIMIT 10",
+        ],
+    )
+    def test_duplicate_clause_rejected(self, sql):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_query(sql)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT g, SUM(a) FROM r GROUP BY g WHERE x > 1",
+            "SELECT g, SUM(a) FROM r GROUP BY g HAVING g > 1 WHERE x > 1",
+            "SELECT a FROM r ORDER BY a WHERE x > 1",
+            "SELECT a FROM r LIMIT 5 ORDER BY a",
+            "SELECT a FROM r WHERE x > 1 JOIN s ON a = b",
+            "SELECT g, SUM(a) FROM r HAVING g > 1 GROUP BY g",
+        ],
+    )
+    def test_out_of_order_clause_rejected(self, sql):
+        with pytest.raises(ParseError, match="must come before"):
+            parse_query(sql)
+
+    def test_repeated_joins_still_allowed(self):
+        query = parse_query(
+            "SELECT a FROM r JOIN s ON a = b JOIN t ON c = d WHERE x > 1"
+        )
+        assert [join.table for join in query.joins] == ["s", "t"]
+        assert len(query.where) == 1
+
+    def test_full_clause_sequence_still_parses(self):
+        query = parse_query(
+            "SELECT g, SUM(a) AS total FROM r JOIN s ON a = b "
+            "WHERE x > 1 GROUP BY g HAVING g > 0 ORDER BY total DESC LIMIT 3"
+        )
+        assert query.group_by == ["g"]
+        assert query.limit == 3

@@ -1,0 +1,137 @@
+"""Column statistics: NDV, equi-depth histograms, cache invalidation."""
+
+import pytest
+
+from repro.core.decimal.context import DecimalSpec
+from repro.engine import Database
+from repro.engine.plan.cost import TableStats
+from repro.engine.plan.stats import (
+    build_histogram,
+    collect_column_stats,
+    column_stats,
+    sketch_ndv,
+)
+from repro.engine.sql.ast_nodes import Comparison
+from repro.storage.column import Column
+
+
+SPEC = DecimalSpec(12, 2)
+
+
+def decimal_column(unscaled):
+    return Column.decimal_from_unscaled("v", unscaled, SPEC)
+
+
+class TestHistogram:
+    def test_point_estimate_matches_exact_count_uniform(self):
+        values = [v % 10 for v in range(1000)]  # 100 rows per value
+        histogram = build_histogram(values)
+        for target in range(10):
+            estimate = histogram.fraction("=", target) * 1000
+            # Bucket-boundary smearing costs a few percent; the estimate
+            # must stay far from the System-R 10% default's 100-row miss.
+            assert estimate == pytest.approx(100, rel=0.15)
+
+    def test_range_estimates_match_exact_counts(self):
+        values = list(range(1000))
+        histogram = build_histogram(values)
+        for op, target, exact in [
+            ("<", 250, 250),
+            ("<=", 499, 500),
+            (">", 749, 250),
+            (">=", 900, 100),
+        ]:
+            estimate = histogram.fraction(op, target) * 1000
+            assert estimate == pytest.approx(exact, rel=0.05), (op, target)
+
+    def test_skew_beats_uniform_assumption(self):
+        # 90% of rows hold one value: the histogram's equal-row estimate
+        # for the heavy value must be far above the System-R 10% default.
+        values = [7] * 900 + list(range(100, 200))
+        histogram = build_histogram(values)
+        assert histogram.fraction("=", 7) > 0.5
+        assert histogram.fraction("=", 150) < 0.05
+
+    def test_out_of_range_targets(self):
+        histogram = build_histogram(list(range(100)))
+        assert histogram.fraction("<", -5) == 0.0
+        assert histogram.fraction(">", 1000) == 0.0
+        assert histogram.fraction(">=", -5) == 1.0
+
+    def test_empty_column_has_no_histogram(self):
+        assert build_histogram([]) is None
+
+
+class TestNdv:
+    def test_exact_below_cap(self):
+        stats = collect_column_stats(decimal_column([1, 1, 2, 3, 3, 3]))
+        assert stats.ndv == 3
+        assert stats.exact_ndv
+
+    def test_sketch_above_cap(self):
+        values = list(range(5000))
+        stats_column = decimal_column(values)
+        stats = collect_column_stats(stats_column, exact_cap=100)
+        assert not stats.exact_ndv
+        # KMV with k=256 is typically within ~10%; allow 25% slack.
+        assert stats.ndv == pytest.approx(5000, rel=0.25)
+
+    def test_sketch_exact_when_fewer_distinct_than_k(self):
+        assert sketch_ndv([1, 2, 3, 1, 2, 3]) == 3
+
+    def test_sketch_is_deterministic(self):
+        values = list(range(3000))
+        assert sketch_ndv(values) == sketch_ndv(values)
+
+
+class TestCaching:
+    def test_stats_cached_per_version(self):
+        column = decimal_column([1, 2, 3])
+        first = column_stats(column)
+        assert column_stats(column) is first
+
+    def test_invalidate_discards_stats(self):
+        column = decimal_column([1, 2, 3])
+        first = column_stats(column)
+        column.invalidate()
+        assert column.cached_stats() is None
+        assert column_stats(column) is not first
+
+    def test_append_refreshes_ndv_without_touching_snapshots(self):
+        db = Database()
+        db.create_table("t", {"v": "DECIMAL(12, 2)"}, rows=[("1.00",), ("2.00",)])
+        before_column = db.catalog.get("t").column("v")
+        before = TableStats.from_relation(db.catalog.get("t"))
+        assert before.ndv("v") == 2
+        db.append("t", [("3.00",), ("4.00",)])
+        after = TableStats.from_relation(db.catalog.get("t"))
+        # Fresh Columns carry fresh versions: new readers see the new NDV...
+        assert after.ndv("v") == 4
+        # ...while the old snapshot's cached statistics are untouched.
+        assert before_column.cached_stats() is not None
+        assert before_column.cached_stats().ndv == 2
+
+
+class TestSelectivityIntegration:
+    def test_histogram_drives_equality_selectivity(self):
+        from repro.engine.plan.cost import predicate_selectivity
+
+        # 90% of the column is 5.00: the estimate must track the skew.
+        column = decimal_column([500] * 900 + [100 + i for i in range(100)])
+        table = TableStats(
+            rows=1000,
+            column_bytes={"v": 6.0},
+            column_types={"v": column.column_type},
+            columns={"v": column},
+        )
+        heavy = predicate_selectivity([Comparison("v", "=", "5.00")], table)
+        assert heavy > 0.5
+        light = predicate_selectivity([Comparison("v", "=", "1.50")], table)
+        assert light < 0.05
+
+    def test_without_stats_falls_back_to_defaults(self):
+        from repro.engine.plan.cost import DEFAULT_SELECTIVITY, predicate_selectivity
+
+        assert predicate_selectivity([Comparison("v", "=", "5.00")]) == (
+            DEFAULT_SELECTIVITY["="]
+        )

@@ -170,8 +170,12 @@ class TestCostModelZones:
         # v < 1.00 matches 1/16 rows; the System R default says 1/3.
         refined = predicate_selectivity([Comparison("v", "<", 1)], stats)
         assert refined < 1 / 3
-        # An always-true predicate cannot exceed the textbook default.
-        assert predicate_selectivity([Comparison("v", "<", 10**6)], stats) <= 1 / 3
+        # An always-true predicate now estimates ~everything: the histogram
+        # replaced the System-R default, and the zone fraction (also ~1
+        # here, every chunk's verdict is True) only caps it from above.
+        assert predicate_selectivity([Comparison("v", "<", 10**6)], stats) == (
+            pytest.approx(1.0)
+        )
 
     def test_without_table_the_default_survives(self):
         assert predicate_selectivity([Comparison("v", "<", 1)]) == pytest.approx(1 / 3)
