@@ -73,6 +73,16 @@ EXPECTED_HEADERS = {
         "speedup vs compact",
         "bit_exact",
     ],
+    "ext_plan_analysis": [
+        "workload",
+        "codec",
+        "optimizer",
+        "operators",
+        "kernels",
+        "errors",
+        "warnings",
+        "infos",
+    ],
 }
 
 

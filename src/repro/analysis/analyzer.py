@@ -10,7 +10,11 @@ registers are undefined would only produce noise.
 ``apply_fast_paths`` feeds the range pass's proven division facts back
 into the IR: Div/Mod instructions whose single-word or 64-bit route is
 statically guaranteed are re-emitted with ``fast_path`` set, which the
-executor uses to skip the per-row size dispatch entirely.
+executor uses to skip the per-row size dispatch entirely.  The input
+kernel is never modified -- a rewritten *copy* is returned -- because the
+kernel may already be held by the (shared, cross-session) kernel cache,
+where an in-place instruction-list mutation would be visible to every
+other holder.
 """
 
 from __future__ import annotations
@@ -42,19 +46,26 @@ def analyze_kernel(kernel: ir.KernelIR, tree: Optional[Expr] = None) -> Analysis
     return report
 
 
-def apply_fast_paths(kernel: ir.KernelIR, fast_paths: Dict[int, str]) -> int:
+def apply_fast_paths(kernel: ir.KernelIR, fast_paths: Dict[int, str]) -> ir.KernelIR:
     """Annotate Div/Mod instructions with statically proven routes.
 
-    Returns the number of instructions rewritten.  The instruction
-    dataclasses are frozen, so annotated sites are replaced wholesale.
+    Returns a rewritten *copy* of the kernel (fresh instruction list, the
+    annotated sites replaced wholesale -- the instruction dataclasses are
+    frozen), or the input kernel itself when nothing changed.  The input
+    is never mutated: it may be shared through the kernel cache, and an
+    in-place edit of ``kernel.instructions`` would silently rewrite every
+    other holder's view of it.
     """
+    instructions = list(kernel.instructions)
     rewritten = 0
     for position, path in fast_paths.items():
-        instruction = kernel.instructions[position]
+        instruction = instructions[position]
         if not isinstance(instruction, (ir.DivOp, ir.ModOp)):
             continue
         if instruction.fast_path == path:
             continue
-        kernel.instructions[position] = dataclasses.replace(instruction, fast_path=path)
+        instructions[position] = dataclasses.replace(instruction, fast_path=path)
         rewritten += 1
-    return rewritten
+    if not rewritten:
+        return kernel
+    return dataclasses.replace(kernel, instructions=instructions)

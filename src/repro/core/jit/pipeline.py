@@ -177,8 +177,12 @@ def compile_expression(
     report = analyze_kernel(kernel, tree=tree)
     if report.fast_paths and not report.has_errors:
         # Feed the proven division facts back into the IR (and the rendered
-        # listing) so the executor skips the per-row size dispatch.
-        if apply_fast_paths(kernel, report.fast_paths):
+        # listing) so the executor skips the per-row size dispatch.  The
+        # rewrite returns a copy; this kernel is not yet cached or shared,
+        # so swapping it in here is the only mutation-free window.
+        annotated = apply_fast_paths(kernel, report.fast_paths)
+        if annotated is not kernel:
+            kernel = annotated
             kernel.source = codegen.render_source(kernel)
     kernel.analysis = report
     if options.strict_analysis and report.has_errors:

@@ -83,6 +83,9 @@ class ExplainResult:
     #: cost-based physical choices the planner made.
     rewrites: List[str] = field(default_factory=list)
     choices: List[str] = field(default_factory=list)
+    #: Plan-level static analyzer findings (``PLAN*``/``PREC*``/``RULE*``),
+    #: attached by the planner when ``OptimizerConfig.verify_plans`` is set.
+    plan_diagnostics: Optional["AnalysisReport"] = None
 
     def format(self, with_source: bool = False) -> str:
         lines = [f"EXPLAIN (simulated at {self.simulate_rows:,} tuples)"]
@@ -96,6 +99,10 @@ class ExplainResult:
             lines.append("  choices:")
             for choice in self.choices:
                 lines.append(f"    {choice}")
+        if self.plan_diagnostics is not None and self.plan_diagnostics.diagnostics:
+            lines.append("  plan diagnostics:")
+            for diagnostic in self.plan_diagnostics.diagnostics:
+                lines.append(f"    {diagnostic.format()}")
         if self.kernels:
             lines.append("  kernels:")
             for kernel in self.kernels:
@@ -309,4 +316,5 @@ def explain_query(
         simulate_rows=simulate_rows,
         rewrites=[event.format() for event in getattr(chain, "events", [])],
         choices=list(getattr(chain, "choices", [])),
+        plan_diagnostics=getattr(chain, "analysis", None),
     )

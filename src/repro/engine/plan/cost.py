@@ -52,6 +52,17 @@ class OptimizerConfig:
     choose_join: bool = True
     #: Cost-based stream chunk sizing / serial fallback per kernel.
     choose_streaming: bool = True
+    #: Run the plan-level static analyzer (``repro.analysis.plan``) over
+    #: every planned query: schema dataflow, precision dataflow and
+    #: rewrite-soundness checks.  Deliberately *not* tied to ``enabled``:
+    #: un-optimized plans are analyzed too, so an analyzer finding always
+    #: isolates to the plan itself or to a rewrite, never to "analysis was
+    #: off on one side of the comparison".
+    verify_plans: bool = True
+    #: Raise :class:`repro.errors.PlanAnalysisError` when the plan
+    #: analyzer reports errors (default: attach diagnostics to the plan
+    #: and EXPLAIN output without failing the query).
+    strict_plan_analysis: bool = False
 
     @classmethod
     def off(cls) -> "OptimizerConfig":

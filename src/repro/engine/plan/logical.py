@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional
+from functools import lru_cache
+from typing import FrozenSet, List, Optional
 
 from repro.engine.sql.ast_nodes import Comparison, Join, OrderKey, Query, SelectItem
 
@@ -177,5 +178,16 @@ def _referenced_columns(query: Query, available: List[str]) -> List[str]:
     return [name for name in available if name in mentioned]
 
 
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@lru_cache(maxsize=1024)
+def _identifiers(text: str) -> FrozenSet[str]:
+    """Every identifier token in ``text`` (cached: expressions repeat)."""
+    return frozenset(_IDENTIFIER.findall(text))
+
+
 def _mentions(text: str, name: str) -> bool:
-    return re.search(rf"\b{re.escape(name)}\b", text) is not None
+    """Whole-token column mention: ``o_orderkey`` never matches inside
+    ``o_orderkey2`` (token membership, not substring or regex search)."""
+    return name in _identifiers(text)

@@ -77,6 +77,9 @@ class PhysicalPlan:
         self.ops = list(ops)
         self.events = list(events or [])
         self.choices = list(choices or [])
+        #: :class:`repro.analysis.AnalysisReport` from the plan-level
+        #: static analyzer, when ``OptimizerConfig.verify_plans`` ran it.
+        self.analysis = None
 
     def __iter__(self) -> Iterator[PhysicalOp]:
         return iter(self.ops)
@@ -96,12 +99,17 @@ def plan_query(
     stats: Optional[PlanStats] = None,
     optimizer: Optional[OptimizerConfig] = None,
     cost_model: Optional[CostModel] = None,
+    jit_options=None,
+    label: Optional[str] = None,
 ) -> PhysicalPlan:
     """Build the physical operator plan for a parsed query.
 
     Without ``stats``/``optimizer``/``cost_model`` this reproduces the
     historical fixed-shape translation (plus the always-on sort-key
-    retention pass) and annotates no costs.
+    retention pass) and annotates no costs.  ``jit_options``/``label``
+    parameterize the plan-level static analyzer, which runs whenever
+    ``optimizer.verify_plans`` is set (the default, including for
+    ``OptimizerConfig.off()``).
     """
     optimizer = optimizer if optimizer is not None else OptimizerConfig.off()
     logical = build_logical_plan(query, available_columns, joined_columns)
@@ -206,7 +214,26 @@ def plan_query(
         op.estimated = estimate
         ops.append(op)
     _push_zone_predicates(ops)
-    return PhysicalPlan(ops, events, choices)
+    plan = PhysicalPlan(ops, events, choices)
+    if optimizer.verify_plans:
+        # Imported lazily: repro.analysis.plan pulls in the JIT pipeline,
+        # which this module must not depend on at import time.
+        from repro.analysis import Severity
+        from repro.analysis.plan import analyze_plan
+        from repro.errors import PlanAnalysisError
+
+        plan.analysis = analyze_plan(
+            plan,
+            stats=stats,
+            jit_options=jit_options,
+            label=label or query.table,
+        )
+        if optimizer.strict_plan_analysis and plan.analysis.has_errors:
+            raise PlanAnalysisError(
+                "plan analysis failed:\n" + plan.analysis.format(Severity.ERROR),
+                report=plan.analysis,
+            )
+    return plan
 
 
 def _push_zone_predicates(ops: List[PhysicalOp]) -> None:

@@ -4,7 +4,11 @@ A :class:`RewriteRule` inspects the bottom-up logical node list and either
 returns a rewritten list plus a human-readable detail, or ``None`` when it
 has nothing to do.  :func:`apply_rules` drives the rule set to a fixpoint
 and records a :class:`RewriteEvent` per firing -- the trace EXPLAIN prints
-under ``rewrites:``.
+under ``rewrites:``.  Each event also carries structural before/after
+snapshots of the node list (:func:`snapshot_nodes`) so the plan analyzer's
+rewrite-soundness pass (``repro.analysis.plan.rewrite_audit``) can verify
+rule-specific invariants after the fact; the snapshots are plain tuples
+because the rules mutate nodes in place.
 
 The stock rule set:
 
@@ -26,15 +30,111 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.engine.plan.logical import LogicalNode
+from repro.engine.plan.logical import (
+    LogicalAggregate,
+    LogicalDrop,
+    LogicalFilter,
+    LogicalHaving,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+
+#: A structural snapshot of one logical node: a plain tuple whose first
+#: element names the node kind.  Predicates appear as
+#: ``(column, op, str(literal), column_rhs)`` 4-tuples so the audit pass
+#: can reason about conjunct multisets and column placement without
+#: holding references to the (mutable) live nodes.
+NodeSnapshot = Tuple[object, ...]
+
+
+def _predicate_snapshot(predicate) -> Tuple[str, str, str, Optional[str]]:
+    return (
+        predicate.column,
+        predicate.op,
+        str(predicate.literal),
+        predicate.column_rhs,
+    )
+
+
+def snapshot_nodes(nodes: List[LogicalNode]) -> Tuple[NodeSnapshot, ...]:
+    """Deep-copy the *structure* of a bottom-up node list into tuples.
+
+    Taken eagerly before/after each rule firing because every stock rule
+    mutates nodes in place (pushdown sets ``join.right_predicates``,
+    pruning shrinks ``scan.columns`` ...), so a list of node references
+    would silently reflect later rewrites.
+    """
+    snapshots: List[NodeSnapshot] = []
+    for node in nodes:
+        if isinstance(node, LogicalScan):
+            snapshots.append(("scan", node.table, tuple(node.columns)))
+        elif isinstance(node, LogicalJoin):
+            snapshots.append(
+                (
+                    "join",
+                    node.join.table,
+                    node.join.left_column,
+                    node.join.right_column,
+                    tuple(node.right_columns),
+                    tuple(_predicate_snapshot(p) for p in node.right_predicates),
+                )
+            )
+        elif isinstance(node, LogicalFilter):
+            snapshots.append(
+                (
+                    "filter",
+                    tuple(_predicate_snapshot(p) for p in node.predicates),
+                    node.always_false,
+                )
+            )
+        elif isinstance(node, LogicalHaving):
+            snapshots.append(
+                ("having", tuple(_predicate_snapshot(p) for p in node.predicates))
+            )
+        elif isinstance(node, LogicalProject):
+            snapshots.append(
+                (
+                    "project",
+                    tuple(item.name for item in node.items),
+                    tuple(str(item.expression) for item in node.items),
+                    tuple(node.carry),
+                )
+            )
+        elif isinstance(node, LogicalDrop):
+            snapshots.append(("drop", tuple(node.columns)))
+        elif isinstance(node, LogicalAggregate):
+            snapshots.append(
+                (
+                    "aggregate",
+                    tuple(item.name for item in node.aggregates),
+                    tuple(str(item.expression) for item in node.aggregates),
+                    tuple(node.group_by),
+                )
+            )
+        elif isinstance(node, LogicalSort):
+            snapshots.append(
+                ("sort", tuple((key.column, key.ascending) for key in node.keys))
+            )
+        elif isinstance(node, LogicalLimit):
+            snapshots.append(("limit", node.count))
+        else:  # pragma: no cover - future node kinds degrade gracefully
+            snapshots.append(("node", type(node).__name__))
+    return tuple(snapshots)
 
 
 @dataclass
 class RewriteEvent:
-    """One rule firing: which rule, and what it changed."""
+    """One rule firing: which rule, what it changed, and plan snapshots
+    bracketing the change (consumed by the rewrite-soundness audit)."""
 
     rule: str
     detail: str
+    before: Optional[Tuple[NodeSnapshot, ...]] = None
+    after: Optional[Tuple[NodeSnapshot, ...]] = None
 
     def format(self) -> str:
         return f"{self.rule}: {self.detail}"
@@ -63,13 +163,16 @@ def apply_rules(
 ) -> Tuple[List[LogicalNode], List[RewriteEvent]]:
     """Run ``rules`` to a fixpoint over the node list."""
     events: List[RewriteEvent] = []
+    before = snapshot_nodes(nodes)
     for _ in range(MAX_PASSES):
         fired = False
         for rule in rules:
             result = rule.apply(nodes, stats)
             if result is not None:
                 nodes, detail = result
-                events.append(RewriteEvent(rule.name, detail))
+                after = snapshot_nodes(nodes)
+                events.append(RewriteEvent(rule.name, detail, before, after))
+                before = after
                 fired = True
         if not fired:
             break

@@ -205,6 +205,8 @@ class Database:
             stats=self._plan_stats(relation, joined, sim),
             optimizer=optimizer,
             cost_model=cost_model,
+            jit_options=self.jit_options,
+            label=query.table,
         )
         batch = run_plan(chain, context)
         return QueryResult(
@@ -247,6 +249,8 @@ class Database:
             stats=self._plan_stats(relation, joined, sim),
             optimizer=optimizer,
             cost_model=cost_model,
+            jit_options=self.jit_options,
+            label=query.table,
         )
         result = explain_query(
             query,

@@ -92,6 +92,21 @@ class ExecutionError(EngineError):
     """Query execution failed at runtime."""
 
 
+class PlanAnalysisError(PlanningError):
+    """The plan-level static analyzer found errors in strict mode.
+
+    Raised by the planner when ``OptimizerConfig.strict_plan_analysis`` is
+    set and a schema-dataflow, precision-dataflow or rewrite-soundness
+    check fails.  Carries the offending
+    :class:`repro.analysis.AnalysisReport` as ``report`` so callers can
+    inspect every diagnostic, not just the rendered message.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class ServingError(EngineError):
     """Base class for concurrent-serving-layer errors."""
 

@@ -133,3 +133,46 @@ class TestStrictMode:
         assert JitOptions(strict_analysis=True).cache_key_part() != (
             JitOptions().cache_key_part()
         )
+
+
+class TestApplyFastPathsImmutability:
+    def test_input_kernel_is_never_mutated(self):
+        from repro.analysis import apply_fast_paths
+        from repro.analysis.ranges import analyze_ranges
+
+        compiled = compile_expression("x / 7", {"x": DecimalSpec(9, 2)})
+        # A cache-shaped scenario: the same kernel object is held by two
+        # parties; annotating one holder's view must not leak to the other.
+        shared = _strip_fast_paths(compiled.kernel)
+        original_instructions = shared.instructions
+        original_items = list(shared.instructions)
+        _findings, fast_paths = analyze_ranges(shared)
+        assert fast_paths  # the x / 7 divisor is statically provable
+
+        annotated = apply_fast_paths(shared, fast_paths)
+        assert annotated is not shared
+        assert annotated.instructions is not shared.instructions
+        # The shared holder's view is bit-identical to before the rewrite.
+        assert shared.instructions is original_instructions
+        assert shared.instructions == original_items
+        assert all(
+            op.fast_path is None
+            for op in shared.instructions
+            if isinstance(op, (ir.DivOp, ir.ModOp))
+        )
+        # ... while the returned copy carries the proven routes.
+        assert any(
+            op.fast_path
+            for op in annotated.instructions
+            if isinstance(op, (ir.DivOp, ir.ModOp))
+        )
+
+    def test_no_change_returns_the_same_kernel(self):
+        from repro.analysis import apply_fast_paths
+        from repro.analysis.ranges import analyze_ranges
+
+        compiled = compile_expression("x / 7", {"x": DecimalSpec(9, 2)})
+        _findings, fast_paths = analyze_ranges(compiled.kernel)
+        # The pipeline already applied these routes: re-applying is a no-op
+        # and must not copy.
+        assert apply_fast_paths(compiled.kernel, fast_paths) is compiled.kernel

@@ -113,6 +113,24 @@ def test_optimized_plan_is_bit_exact(seed):
     assert on.rows == off.rows, sql
 
 
+@pytest.mark.parametrize("seed", range(40))
+def test_every_random_plan_passes_the_plan_analyzer(seed):
+    """The static plan analyzer proves every generated plan sound.
+
+    Same seeded query population as the bit-exactness property, checked
+    statically: schema dataflow, precision dataflow and the per-rewrite
+    soundness audit must report zero errors with the optimizer fully on
+    and fully off.
+    """
+    rng = random.Random(1000 + seed)
+    db = make_db(rng)
+    sql = random_query(rng)
+    for config in (OptimizerConfig(), OptimizerConfig.off()):
+        report = db.explain(sql, optimizer=config).plan_diagnostics
+        assert report is not None, sql
+        assert not report.has_errors, f"{sql}\n{report.format()}"
+
+
 def test_reports_track_bytes_both_ways():
     rng = random.Random(7)
     db = make_db(rng)
